@@ -1,0 +1,18 @@
+"""Ablation: estimator variance under the §5 heuristics."""
+
+from benchmarks.support import run_and_render
+
+
+def test_backward_variance(benchmark):
+    result = run_and_render(benchmark, "backward_variance")
+    (table,) = result.tables.values()
+    by_name = {row[0]: row for row in table.rows}
+    plain = by_name["UNBIASED-ESTIMATE"]
+    crawl = by_name["crawl-assisted"]
+    # Initial crawling must shrink the spread (std column).
+    assert crawl[2] < plain[2]
+    # Every variant's mean lands near the exact value (within 3x spread
+    # of its 400-draw mean).
+    for row in table.rows:
+        _, mean, std, exact = row
+        assert abs(mean - exact) < 4 * std / (400**0.5) + 1e-6

@@ -1,0 +1,12 @@
+"""Ablation: crawl-order baselines (BFS/DFS/snowball) vs walk samplers."""
+
+from benchmarks.support import run_and_render
+
+
+def test_crawl_baselines(benchmark):
+    result = run_and_render(benchmark, "crawl_baselines")
+    (table,) = result.tables.values()
+    errors = {row[0]: row[1] for row in table.rows}
+    # Every crawl-order baseline loses to WALK-ESTIMATE.
+    for crawler in ("BFS", "DFS", "snowball(3)"):
+        assert errors[crawler] > errors["WE"], crawler

@@ -1,0 +1,15 @@
+"""Figure 1: min/max sampling probability vs walk length (exact)."""
+
+from benchmarks.support import run_and_render
+
+
+def test_figure1(benchmark):
+    result = run_and_render(benchmark, "figure1")
+    (series_list,) = result.panels.values()
+    maximum = next(s for s in series_list if s.label == "Max Prob")
+    minimum = next(s for s in series_list if s.label == "Min Prob")
+    # Paper shape: max collapses from 1.0 fast; min climbs from 0.
+    assert maximum.y[0] == 1.0
+    assert maximum.y[-1] < 0.5
+    assert minimum.y[0] == 0.0
+    assert minimum.y[-1] > 0.0

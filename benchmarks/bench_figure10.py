@@ -1,0 +1,15 @@
+"""Figure 10: sample quality — error vs number of samples (Google Plus)."""
+
+import numpy as np
+
+from benchmarks.support import run_and_render
+
+
+def test_figure10(benchmark):
+    result = run_and_render(benchmark, "figure10")
+    assert len(result.panels) == 4
+    for series_list in result.panels.values():
+        for series in series_list:
+            assert len(series.y) >= 3
+            # Errors broadly shrink as samples accumulate (allow noise).
+            assert min(series.y[-2:]) <= series.y[0] + 0.12

@@ -1,0 +1,19 @@
+"""Figure 11: synthetic BA graphs of growing size (SRW input)."""
+
+import numpy as np
+
+from benchmarks.support import run_and_render
+
+
+def test_figure11(benchmark):
+    result = run_and_render(benchmark, "figure11")
+    assert set(result.panels) == {
+        "(a) relative error vs query cost",
+        "(b) relative error vs number of samples",
+    }
+    cost_panel = result.panels["(a) relative error vs query cost"]
+    # Three sizes, two samplers each.
+    assert len(cost_panel) == 6
+    we_final = [s.y[-1] for s in cost_panel if s.label.startswith("WE")]
+    srw_final = [s.y[-1] for s in cost_panel if s.label.startswith("SRW")]
+    assert np.mean(we_final) < np.mean(srw_final) + 0.05

@@ -1,0 +1,19 @@
+"""Figure 12: sampling-distribution PDF/CDF vs the theoretical target."""
+
+from benchmarks.support import run_and_render
+
+
+def test_figure12(benchmark):
+    result = run_and_render(benchmark, "figure12")
+    pdf_panel = result.panels["PDF (binned)"]
+    labels = {s.label for s in pdf_panel}
+    assert labels == {"Theo", "SRW", "WE"}
+    for series in pdf_panel:
+        assert abs(sum(series.y) - 1.0) < 1e-6
+    cdf_panel = result.panels["CDF (at bin right edges)"]
+    for series in cdf_panel:
+        assert series.y == sorted(series.y)
+        assert abs(series.y[-1] - 1.0) < 1e-6
+    # Table 1 rides along.
+    (table,) = result.tables.values()
+    assert [row[0] for row in table.rows] == ["l_inf", "KL"]

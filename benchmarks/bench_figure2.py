@@ -1,0 +1,14 @@
+"""Figure 2: IDEAL-WALK cost per sample vs walk length, five models."""
+
+from benchmarks.support import run_and_render
+
+
+def test_figure2(benchmark):
+    result = run_and_render(benchmark, "figure2")
+    (series_list,) = result.panels.values()
+    for series in series_list:
+        finite = [(x, y) for x, y in zip(series.x, series.y) if y != float("inf")]
+        assert finite, series.label
+        # Paper shape: cost rises again for overly long walks.
+        best = min(y for _, y in finite)
+        assert finite[-1][1] >= best

@@ -1,0 +1,16 @@
+"""Figure 3: IDEAL-WALK query-cost saving vs graph size, five models."""
+
+from benchmarks.support import run_and_render
+
+
+def test_figure3(benchmark):
+    result = run_and_render(benchmark, "figure3")
+    (series_list,) = result.panels.values()
+    by_label = {s.label: s for s in series_list}
+    # Paper shape: barbell savings rise with size and end very high.
+    barbell = by_label["barbell"].y
+    assert barbell == sorted(barbell)
+    assert barbell[-1] > 50.0
+    # Every model shows positive savings at moderate sizes.
+    for label, series in by_label.items():
+        assert max(series.y) > 0.0, label

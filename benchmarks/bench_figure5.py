@@ -1,0 +1,14 @@
+"""Figure 5: WE's limitation on long-diameter cycle graphs."""
+
+from benchmarks.support import run_and_render
+
+
+def test_figure5(benchmark):
+    result = run_and_render(benchmark, "figure5")
+    (series_list,) = result.panels.values()
+    we = next(s for s in series_list if s.label == "WE")
+    srw = next(s for s in series_list if s.label == "SRW")
+    # Paper shape: WE cost explodes with diameter; monitored SRW is flat.
+    assert we.y[-1] > 2 * we.y[0]
+    assert max(srw.y) < 2 * min(srw.y) + 1e-9
+    assert we.y[-1] > srw.y[-1]

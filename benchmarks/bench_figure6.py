@@ -1,0 +1,18 @@
+"""Figure 6: Google Plus surrogate, error vs query cost (SRW + MHRW)."""
+
+import numpy as np
+
+from benchmarks.support import run_and_render
+
+
+def test_figure6(benchmark):
+    result = run_and_render(benchmark, "figure6")
+    assert len(result.panels) == 4  # {degree, description} x {SRW, MHRW}
+    we_at_top, baseline_at_top = [], []
+    for series_list in result.panels.values():
+        for series in series_list:
+            (we_at_top if series.label == "WE" else baseline_at_top).append(
+                series.y[-1]
+            )
+    # Paper shape: past its fixed overhead, WE sits below the input walk.
+    assert np.mean(we_at_top) < np.mean(baseline_at_top) + 0.05

@@ -1,0 +1,17 @@
+"""Figure 8: Twitter surrogate (mutual graph), error vs query cost (SRW)."""
+
+import numpy as np
+
+from benchmarks.support import run_and_render
+
+
+def test_figure8(benchmark):
+    result = run_and_render(benchmark, "figure8")
+    assert len(result.panels) == 4  # in/out degree, avg_path, clustering
+    we_at_top, baseline_at_top = [], []
+    for series_list in result.panels.values():
+        for series in series_list:
+            (we_at_top if series.label == "WE" else baseline_at_top).append(
+                series.y[-1]
+            )
+    assert np.mean(we_at_top) < np.mean(baseline_at_top) + 0.08

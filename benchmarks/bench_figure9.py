@@ -1,0 +1,19 @@
+"""Figure 9: WE variance-reduction ablation on the Google Plus surrogate."""
+
+import numpy as np
+
+from benchmarks.support import run_and_render
+
+
+def test_figure9(benchmark):
+    result = run_and_render(benchmark, "figure9")
+    per_variant: dict[str, list[float]] = {}
+    for series_list in result.panels.values():
+        for series in series_list:
+            # Skip the cold-start point (smallest budget): all variants pay
+            # the same fixed overhead there and errors pin at 1.
+            per_variant.setdefault(series.label, []).extend(series.y[1:])
+    means = {label: float(np.mean(ys)) for label, ys in per_variant.items()}
+    assert set(means) == {"WE-None", "WE-Crawl", "WE-Weighted", "WE"}
+    # Paper shape: the full WE is the best variant on average.
+    assert means["WE"] <= min(means.values()) + 0.1

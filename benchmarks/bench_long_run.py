@@ -1,0 +1,14 @@
+"""Ablation: many short runs vs one long run (§6.1, Eq. 25)."""
+
+from benchmarks.support import run_and_render
+
+
+def test_long_run(benchmark):
+    result = run_and_render(benchmark, "long_run")
+    (table,) = result.tables.values()
+    by_name = {row[0]: row for row in table.rows}
+    short = by_name["many short runs"]
+    long_row = by_name["one long run"]
+    # Long run: cheaper per sample, but worth fewer effective samples.
+    assert long_row[4] < short[4]  # query cost
+    assert long_row[2] < short[2]  # effective sample size

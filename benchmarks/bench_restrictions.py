@@ -1,0 +1,26 @@
+"""Ablation: neighbor-access restrictions and their remediations (§6.3.1)."""
+
+from benchmarks.support import run_and_render
+
+
+def test_restrictions(benchmark):
+    result = run_and_render(benchmark, "restrictions")
+    (table,) = result.tables.values()
+    errors = {row[0]: row[1] for row in table.rows}
+    unrestricted = errors["unrestricted / SRW"]
+    # Each remediation must beat its naive counterpart...
+    assert (
+        errors["type1 random-8 / mark-recapture"]
+        < errors["type1 random-8 / naive SRW"]
+    )
+    assert (
+        errors["type2 fixed-8 / bidirectional"]
+        < errors["type2 fixed-8 / naive SRW"]
+    )
+    assert (
+        errors["type3 first-8 / bidirectional"]
+        < errors["type3 first-8 / naive SRW"]
+    )
+    # ...and types 1/2 with remediation land near the unrestricted error.
+    assert errors["type1 random-8 / mark-recapture"] < unrestricted + 0.1
+    assert errors["type2 fixed-8 / bidirectional"] < unrestricted + 0.1

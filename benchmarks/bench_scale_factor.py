@@ -1,0 +1,17 @@
+"""Ablation: rejection scale-factor percentile sensitivity (§6.3.2)."""
+
+from benchmarks.support import run_and_render
+
+
+def test_scale_factor(benchmark):
+    result = run_and_render(benchmark, "scale_factor")
+    (table,) = result.tables.values()
+    rows = {row[0]: row for row in table.rows}
+    percentiles = sorted(rows)
+    # Efficiency rises (cost per sample falls) as the factor gets more
+    # aggressive — the §6.3.2 trade-off's efficiency half.
+    costs = [rows[p][3] for p in percentiles]
+    assert costs[-1] <= costs[0] + 1e-9
+    # And every setting stays in the small-bias regime on this graph.
+    for p in percentiles:
+        assert rows[p][1] < 0.05  # l_inf

@@ -1,0 +1,16 @@
+"""Table 1: exact-bias distances between target and SRW/WE distributions."""
+
+from benchmarks.support import run_and_render
+
+
+def test_table1(benchmark):
+    result = run_and_render(benchmark, "table1")
+    (table,) = result.tables.values()
+    rows = {row[0]: (row[1], row[2]) for row in table.rows}
+    linf_srw, linf_we = rows["l_inf"]
+    kl_srw, kl_we = rows["KL"]
+    # Both samplers must land in the small-bias regime; at quick-scale
+    # sample counts the two sit near the multinomial noise floor, so the
+    # check is on magnitude, not strict ordering (see EXPERIMENTS.md).
+    assert 0 <= linf_we < 0.02 and 0 <= linf_srw < 0.02
+    assert kl_we < 0.5 and kl_srw < 0.5

@@ -1,0 +1,67 @@
+"""Raw throughput benchmarks for the hot paths.
+
+Unlike the experiment benchmarks (one timed run each), these use
+pytest-benchmark's statistical timing to track the per-operation costs that
+dominate every experiment: forward walk steps, backward-estimate
+realizations, and full WALK-ESTIMATE samples.
+"""
+
+import pytest
+
+from repro.core.config import WalkEstimateConfig
+from repro.core.crawl import InitialCrawl
+from repro.core.walk_estimate import we_full_sampler
+from repro.core.weighted import ForwardHistory, weighted_backward_estimate
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.api import SocialNetworkAPI
+from repro.rng import ensure_rng
+from repro.walks.transitions import MetropolisHastingsWalk, SimpleRandomWalk
+from repro.walks.walker import run_walk
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(2000, 8, seed=42).relabeled()
+
+
+def test_srw_walk_throughput(benchmark, graph):
+    rng = ensure_rng(1)
+    result = benchmark(lambda: run_walk(graph, SimpleRandomWalk(), 0, 200, seed=rng))
+    assert result.steps == 200
+
+
+def test_mhrw_walk_throughput(benchmark, graph):
+    rng = ensure_rng(2)
+    result = benchmark(
+        lambda: run_walk(graph, MetropolisHastingsWalk(), 0, 200, seed=rng)
+    )
+    assert result.steps == 200
+
+
+def test_backward_estimate_throughput(benchmark, graph):
+    rng = ensure_rng(3)
+    design = SimpleRandomWalk()
+    crawl = InitialCrawl(SocialNetworkAPI(graph), design, 0, hops=2)
+    history = ForwardHistory(0, 9)
+    for _ in range(30):
+        history.record(run_walk(graph, design, 0, 9, seed=rng))
+    value = benchmark(
+        lambda: weighted_backward_estimate(
+            graph, design, 1500, 0, 9, history=history, crawl=crawl, seed=rng
+        )
+    )
+    assert value >= 0.0
+
+
+def test_walk_estimate_sample_throughput(benchmark, graph):
+    design = SimpleRandomWalk()
+    config = WalkEstimateConfig(
+        diameter_hint=4, crawl_hops=1, calibration_walks=5
+    )
+
+    def one_batch():
+        api = SocialNetworkAPI(graph)
+        return we_full_sampler(design, config).sample(api, 0, count=10, seed=7)
+
+    batch = benchmark(one_batch)
+    assert len(batch) == 10

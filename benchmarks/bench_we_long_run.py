@@ -1,0 +1,16 @@
+"""Ablation: the §6.1 future-work WALK-ESTIMATE over one long run."""
+
+from benchmarks.support import run_and_render
+
+
+def test_we_long_run(benchmark):
+    result = run_and_render(benchmark, "we_long_run")
+    (table,) = result.tables.values()
+    rows = {row[0]: row for row in table.rows}
+    classical = rows["one long run (classical)"]
+    we_long = rows["WE one long run"]
+    we_short = rows["WE short runs"]
+    # The corrected long run must not be more biased than the classical
+    # long run (l_inf column), and costs fewer queries than short runs.
+    assert we_long[1] <= classical[1] + 0.01
+    assert we_long[3] <= we_short[3]

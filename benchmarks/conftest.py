@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+The rendered experiment tables produced during the benchmarks are emitted
+in the terminal summary (hook output bypasses pytest's capture), so a plain
+``pytest benchmarks/ --benchmark-only`` run — teed to ``bench_output.txt``
+— doubles as the measured-results record EXPERIMENTS.md references.
+"""
+
+from benchmarks import support
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not support.RENDERED_RESULTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 74)
+    terminalreporter.write_line("Measured experiment results (quick scale)")
+    terminalreporter.write_line("=" * 74)
+    for text in support.RENDERED_RESULTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,34 @@
+"""Shared helper for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (figure/table) at the
+``quick`` scale, times it via pytest-benchmark, and registers the rendered
+series for the terminal summary (see ``conftest.py``) — so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves a complete
+measured-results record (the one EXPERIMENTS.md references).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.reporting import render_result
+from repro.experiments.runner import ExperimentResult
+
+#: Rendered experiment reports, printed by conftest's terminal-summary hook.
+RENDERED_RESULTS: List[str] = []
+
+
+def run_and_render(benchmark, experiment_id: str, seed: int = 3) -> ExperimentResult:
+    """Run one experiment exactly once under the benchmark timer."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": "quick", "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    rendered = render_result(result)
+    RENDERED_RESULTS.append(rendered)
+    print(rendered)  # visible live under -s; summary hook covers plain runs
+    return result

@@ -1,0 +1,56 @@
+"""The theory behind WALK-ESTIMATE: IDEAL-WALK on the §4.2 graph models.
+
+Reproduces the paper's analytical case study on a laptop in seconds:
+
+1. the cost-per-sample curve ``c(t) = t / acceptance(t)`` over walk length
+   (Figure 2's U-shape: infinite before the diameter, sharp drop, shallow
+   rise) for five classic graph models;
+2. the optimal short-walk length and the saving over the traditional
+   burn-in walk (Figure 3);
+3. Theorem 1's Lambert-W closed form for ``t_opt`` next to the exact
+   oracle optimum.
+
+Run:  python examples/ideal_walk_theory.py
+"""
+
+from repro.core.ideal import IdealWalk
+from repro.markov.mixing import spectral_gap
+from repro.markov.matrix import TransitionMatrix
+from repro.theory.case_studies import build_case_study_graph, default_design
+from repro.theory.theorem1 import optimal_walk_length_closed_form
+
+MODELS = ("barbell", "cycle", "hypercube", "tree", "barabasi")
+WALK_LENGTHS = (2, 4, 8, 16, 32, 64)
+
+
+def main() -> None:
+    print(f"{'model':10s} " + " ".join(f"c(t={t:<3d})" for t in WALK_LENGTHS)
+          + "   t_opt  c_min   saving  t_opt(thm1)")
+    for model in MODELS:
+        graph = build_case_study_graph(model, 31).relabeled()
+        design = default_design()
+        ideal = IdealWalk(graph, design, start=0)
+        costs = []
+        for t in WALK_LENGTHS:
+            c = ideal.expected_cost_per_sample(t)
+            costs.append(f"{c:8.1f}" if c != float("inf") else "     inf")
+        t_opt, c_min = ideal.optimal_walk_length(max_t=256)
+        saving = ideal.savings(relative_delta=0.1, max_t=256)
+        matrix = TransitionMatrix(graph, design)
+        gap = spectral_gap(matrix)
+        t_thm = optimal_walk_length_closed_form(
+            gap, graph.max_degree(), gamma=1.0
+        )
+        print(
+            f"{model:10s} " + " ".join(costs)
+            + f"   {t_opt:5d} {c_min:6.1f}  {100 * saving:5.1f}%  {t_thm:9.1f}"
+        )
+    print(
+        "\nReading: costs are infinite until the walk can reach every node,"
+        "\nthen drop fast to a minimum a few steps past the diameter, then"
+        "\nclimb slowly — walking much past the optimum only wastes queries."
+    )
+
+
+if __name__ == "__main__":
+    main()

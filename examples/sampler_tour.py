@@ -1,0 +1,84 @@
+"""A tour of every sampler in the repository, on one hidden graph.
+
+Runs each node sampler the library implements — crawl-order baselines,
+classical random walks, the related-work alternatives, and WALK-ESTIMATE in
+both its short-runs and one-long-run (§6.1 future work) forms — under the
+same query budget, and reports the average-degree estimate each produces
+with a bootstrap confidence interval.
+
+Run:  python examples/sampler_tour.py
+"""
+
+from repro import (
+    QueryBudget,
+    SimpleRandomWalk,
+    SocialNetworkAPI,
+    WalkEstimateConfig,
+    we_full_sampler,
+)
+from repro.core import LongRunWalkEstimateSampler
+from repro.datasets import ba_synthetic
+from repro.estimators.intervals import bootstrap_interval
+from repro.estimators.metrics import relative_error
+from repro.walks import (
+    BFSSampler,
+    BurnInSampler,
+    DFSSampler,
+    FrontierSampler,
+    LongRunSampler,
+    MetropolisHastingsWalk,
+    NonBacktrackingSampler,
+    SnowballSampler,
+)
+
+SEED = 17
+BUDGET = 2000
+COUNT = 150
+
+
+def main() -> None:
+    dataset = ba_synthetic(nodes=3000, m=6, seed=SEED)
+    graph = dataset.graph
+    truth = dataset.aggregates["degree"]
+    start = graph.nodes()[-1]  # an ordinary low-degree user
+    print(f"hidden graph: {graph}; true AVG degree {truth:.2f}")
+    print(f"budget {BUDGET} unique queries per sampler\n")
+
+    config = WalkEstimateConfig(diameter_hint=5, crawl_hops=2)
+    samplers = {
+        "BFS crawl": BFSSampler(),
+        "DFS crawl": DFSSampler(),
+        "snowball(3)": SnowballSampler(fanout=3),
+        "SRW + burn-in": BurnInSampler(SimpleRandomWalk()),
+        "MHRW + burn-in": BurnInSampler(MetropolisHastingsWalk()),
+        "NBRW + burn-in": NonBacktrackingSampler(),
+        "one long run (SRW)": LongRunSampler(SimpleRandomWalk(), burn_in_steps=150),
+        "frontier (m=8)": FrontierSampler(dimension=8, burn_in_steps=50),
+        "WALK-ESTIMATE": we_full_sampler(SimpleRandomWalk(), config),
+        "WE one-long-run": LongRunWalkEstimateSampler(SimpleRandomWalk(), config),
+    }
+    print(f"{'sampler':20s} {'samples':>8s} {'estimate':>9s} "
+          f"{'95% CI':>17s} {'rel err':>8s}")
+    for label, sampler in samplers.items():
+        api = SocialNetworkAPI(graph, budget=QueryBudget(BUDGET))
+        batch = sampler.sample(api, start, count=COUNT, seed=SEED)
+        if len(batch) < 2:
+            print(f"{label:20s} {len(batch):8d} {'-':>9s} {'-':>17s} {'-':>8s}")
+            continue
+        values = [graph.get_attribute("degree", node) for node in batch.nodes]
+        ci = bootstrap_interval(batch, values, seed=SEED)
+        error = relative_error(ci.estimate, truth)
+        print(f"{label:20s} {len(batch):8d} {ci.estimate:9.2f} "
+              f"[{ci.lower:6.2f}, {ci.upper:6.2f}] {error:8.3f}")
+    print(
+        "\nReading: crawl-order samplers concentrate near the start and"
+        "\noverestimate badly; every walk-based sampler de-biases.  Their"
+        "\ncosts differ: burn-in walks buy few (independent) samples, long"
+        "\nruns buy many (correlated) ones, and WALK-ESTIMATE buys"
+        "\nindependent samples cheaply once its calibration is amortized —"
+        "\nrun the figure6 experiment for the systematic comparison."
+    )
+
+
+if __name__ == "__main__":
+    main()

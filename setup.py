@@ -1,0 +1,10 @@
+"""Setuptools shim for offline environments lacking the wheel package.
+
+Modern pip builds editable installs through PEP 660, which requires the
+``wheel`` package; fully offline machines without it can still install via
+``python setup.py develop``.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

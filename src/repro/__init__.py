@@ -1,0 +1,89 @@
+"""Reproduction of *Walk, Not Wait: Faster Sampling Over Online Social
+Networks* (Nazi, Zhou, Thirumuruganathan, Zhang, Das - VLDB 2015).
+
+The package is organized bottom-up:
+
+* :mod:`repro.graphs` - graph substrate (structure, generators, properties);
+* :mod:`repro.markov` - oracle Markov-chain machinery;
+* :mod:`repro.osn` - the restricted OSN query interface with cost accounting;
+* :mod:`repro.walks` - SRW/MHRW, burn-in samplers, convergence monitors;
+* :mod:`repro.core` - **WALK-ESTIMATE**, the paper's contribution;
+* :mod:`repro.theory` - Theorem 1 and the case studies of section 4.2;
+* :mod:`repro.estimators` - aggregate estimation and bias metrics;
+* :mod:`repro.datasets` - surrogates for the paper's evaluation graphs;
+* :mod:`repro.experiments` - one callable per paper figure/table.
+
+Quickstart::
+
+    from repro import (SocialNetworkAPI, SimpleRandomWalk,
+                       WalkEstimateConfig, we_full_sampler)
+    from repro.datasets import google_plus_surrogate
+
+    dataset = google_plus_surrogate(seed=7)
+    api = SocialNetworkAPI(dataset.graph)
+    sampler = we_full_sampler(SimpleRandomWalk(),
+                              WalkEstimateConfig(diameter_hint=4, crawl_hops=1))
+    batch = sampler.sample(api, start=0, count=100, seed=7)
+    print(len(batch), "samples for", api.query_cost, "queries")
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    EstimationError,
+    ExperimentError,
+    GraphError,
+    NodeNotFoundError,
+    QueryBudgetExceededError,
+    RateLimitExceededError,
+    ReproError,
+)
+from repro.graphs import Graph
+from repro.osn import QueryBudget, SocialNetworkAPI
+from repro.walks import (
+    BurnInSampler,
+    LazyWalk,
+    LongRunSampler,
+    MaxDegreeWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+)
+from repro.core import (
+    IdealWalk,
+    WalkEstimateConfig,
+    WalkEstimateSampler,
+    we_crawl_sampler,
+    we_full_sampler,
+    we_none_sampler,
+    we_weighted_sampler,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "QueryBudgetExceededError",
+    "RateLimitExceededError",
+    "ConfigurationError",
+    "EstimationError",
+    "ConvergenceError",
+    "ExperimentError",
+    "Graph",
+    "SocialNetworkAPI",
+    "QueryBudget",
+    "SimpleRandomWalk",
+    "MetropolisHastingsWalk",
+    "LazyWalk",
+    "MaxDegreeWalk",
+    "BurnInSampler",
+    "LongRunSampler",
+    "WalkEstimateConfig",
+    "WalkEstimateSampler",
+    "IdealWalk",
+    "we_none_sampler",
+    "we_crawl_sampler",
+    "we_weighted_sampler",
+    "we_full_sampler",
+]

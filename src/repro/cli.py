@@ -1,0 +1,125 @@
+"""Command-line interface.
+
+Usage examples::
+
+    walk-not-wait list
+    walk-not-wait run figure6 --scale quick --seed 7
+    walk-not-wait run table1 --csv out.csv
+    walk-not-wait run all --scale quick
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import render_result, result_to_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="walk-not-wait",
+        description=(
+            "Reproduction of 'Walk, Not Wait: Faster Sampling Over Online "
+            "Social Networks' (VLDB 2015)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    datasets = subparsers.add_parser(
+        "datasets", help="build the dataset surrogates and print their stats"
+    )
+    datasets.add_argument("--seed", type=int, default=0, help="build seed")
+    datasets.add_argument(
+        "--name",
+        default=None,
+        help="single dataset to summarize (default: all)",
+    )
+
+    run = subparsers.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id or 'all'")
+    run.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="workload size (quick: minutes; full: paper-scale)",
+    )
+    run.add_argument("--seed", type=int, default=None, help="master seed")
+    run.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        help="also write results as CSV to this path",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. `head`);
+        # exit quietly like any well-behaved CLI.
+        import os
+
+        os.close(sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(argv: list[str] | None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[experiment_id].__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{experiment_id:20s} {summary}")
+        return 0
+
+    if args.command == "datasets":
+        from repro.datasets.registry import DATASET_BUILDERS, build_dataset
+        from repro.graphs.statistics import summarize
+
+        names = [args.name] if args.name else sorted(DATASET_BUILDERS)
+        for name in names:
+            dataset = build_dataset(name, seed=args.seed)
+            summary = summarize(dataset.graph, seed=args.seed)
+            print(f"== {name} ({dataset.paper_reference or 'no reference'}) ==")
+            for metric, value in summary.as_rows():
+                print(f"  {metric:16s} {value}")
+            for aggregate, truth in sorted(dataset.aggregates.items()):
+                print(f"  AVG {aggregate:12s} {truth:.4f}")
+            print()
+        return 0
+
+    if args.command == "run":
+        ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        csv_chunks: list[str] = []
+        for experiment_id in ids:
+            result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+            print(render_result(result))
+            print()
+            if args.csv is not None:
+                csv_chunks.append(result_to_csv(result))
+        if args.csv is not None:
+            args.csv.write_text("".join(csv_chunks), encoding="utf-8")
+            print(f"wrote CSV to {args.csv}", file=sys.stderr)
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""WALK-ESTIMATE: the paper's primary contribution.
+
+The sampler replaces the long burn-in "wait" with a short WALK plus a
+proactive ESTIMATE of the candidate's sampling probability, corrected to the
+target distribution by acceptance–rejection:
+
+* :class:`WalkEstimateConfig` — all knobs with the paper's defaults;
+* :class:`InitialCrawl` — h-hop crawl with an exact ``p_s(v), s ≤ h`` table;
+* :func:`unbiased_estimate` — UNBIASED-ESTIMATE (Algorithm 1);
+* :class:`ForwardHistory` / :func:`weighted_backward_estimate` — WS-BW
+  (Algorithm 2, importance-corrected);
+* :class:`ProbabilityEstimator` — ESTIMATE with variance-proportional
+  repetition budget (Algorithm 3);
+* :class:`RejectionSampler` — acceptance–rejection with the bootstrapped
+  scale factor (§6.3.2);
+* :class:`WalkEstimateSampler` — the full algorithm, plus the ablation
+  variants WE-None / WE-Crawl / WE-Weighted (§7.1);
+* :class:`IdealWalk` — the oracle IDEAL-WALK used in the theory (§4.1).
+"""
+
+from repro.core.config import WalkEstimateConfig
+from repro.core.crawl import InitialCrawl
+from repro.core.unbiased import backward_candidates, unbiased_estimate
+from repro.core.weighted import ForwardHistory, weighted_backward_estimate
+from repro.core.estimate import ProbabilityEstimate, ProbabilityEstimator
+from repro.core.rejection import RejectionSampler, ScaleFactorBootstrap
+from repro.core.walk_estimate import (
+    SampleRecord,
+    WalkEstimateSampler,
+    we_crawl_sampler,
+    we_full_sampler,
+    we_none_sampler,
+    we_weighted_sampler,
+)
+from repro.core.ideal import IdealWalk
+from repro.core.long_run_we import LongRunWalkEstimateSampler
+
+__all__ = [
+    "WalkEstimateConfig",
+    "InitialCrawl",
+    "unbiased_estimate",
+    "backward_candidates",
+    "ForwardHistory",
+    "weighted_backward_estimate",
+    "ProbabilityEstimator",
+    "ProbabilityEstimate",
+    "RejectionSampler",
+    "ScaleFactorBootstrap",
+    "WalkEstimateSampler",
+    "SampleRecord",
+    "we_none_sampler",
+    "we_crawl_sampler",
+    "we_weighted_sampler",
+    "we_full_sampler",
+    "IdealWalk",
+    "LongRunWalkEstimateSampler",
+]

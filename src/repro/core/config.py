@@ -1,0 +1,115 @@
+"""Configuration for WALK-ESTIMATE with the paper's defaults (§7.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WalkEstimateConfig:
+    """All WALK-ESTIMATE knobs in one immutable record.
+
+    Attributes
+    ----------
+    walk_length:
+        Forward walk length *t*.  ``None`` derives ``2 * diameter_hint + 1``
+        — the paper's conservative rule (§4.3: "we set the walk length to
+        2d + 1 where d is the (estimated) graph diameter").
+    diameter_hint:
+        Estimated/assumed graph diameter; the paper treats 8–10 as a safe
+        bet for real OSNs and uses d=7 for Google Plus.
+    crawl_hops:
+        Initial-crawl depth *h* (0 disables the heuristic; paper uses
+        h=1 for Google Plus, h=2 elsewhere).  The crawl queries every node
+        within *h* hops of the start, so its cost scales with the start's
+        h-hop ball: starting at a hub of a dense graph with h=2 can cost
+        thousands of queries — use h=1 there (this is exactly why the
+        paper drops to h=1 on Google Plus).
+    weighted_sampling:
+        Enable WS-BW backward weighting (Algorithm 2).
+    epsilon:
+        WS-BW's minimum exploration mass ε (paper default 0.1).
+    backward_repetitions:
+        Backward-walk repetitions per probability estimate before variance
+        refinement.  More repetitions buy sharper estimates (hence better
+        bias control) at a real query cost on sparse graphs where backward
+        walks leave the cached region — raise this for bias-critical runs
+        without tight budgets (the exact-bias experiments use 24+8), keep
+        it modest for budget-constrained campaigns.
+    refine_repetitions:
+        Extra backward walks distributed across pending estimates
+        proportionally to their estimation variance (Algorithm 3's
+        budget-allocation step).
+    scale_percentile:
+        Percentile of observed ``p̂(v)/q̃(v)`` ratios used as the
+        rejection-sampling scale factor.  The paper reports the 10th
+        percentile; with the modest backward-repetition counts practical on
+        small surrogates the estimate noise widens the ratio pool, so the
+        library defaults to 25 — the "more aggressively (i.e., higher)"
+        end of the trade-off §6.3.2 describes.  Lower it for bias-critical
+        work (the exact-bias experiments do).
+    calibration_walks:
+        Forward walks run before sampling starts, used to (a) seed the
+        WS-BW history and (b) bootstrap the scale factor.
+    max_attempts_per_sample:
+        Safety valve on rejection loops.
+    """
+
+    walk_length: int | None = None
+    diameter_hint: int = 10
+    crawl_hops: int = 2
+    weighted_sampling: bool = True
+    epsilon: float = 0.2
+    backward_repetitions: int = 12
+    refine_repetitions: int = 4
+    scale_percentile: float = 25.0
+    calibration_walks: int = 15
+    max_attempts_per_sample: int = 200
+
+    def __post_init__(self) -> None:
+        if self.walk_length is not None and self.walk_length < 1:
+            raise ConfigurationError(
+                f"walk_length must be >= 1 or None, got {self.walk_length}"
+            )
+        if self.diameter_hint < 1:
+            raise ConfigurationError(
+                f"diameter_hint must be >= 1, got {self.diameter_hint}"
+            )
+        if self.crawl_hops < 0:
+            raise ConfigurationError(f"crawl_hops must be >= 0, got {self.crawl_hops}")
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1], got {self.epsilon}")
+        if self.backward_repetitions < 1:
+            raise ConfigurationError(
+                f"backward_repetitions must be >= 1, got {self.backward_repetitions}"
+            )
+        if self.refine_repetitions < 0:
+            raise ConfigurationError(
+                f"refine_repetitions must be >= 0, got {self.refine_repetitions}"
+            )
+        if not 0.0 < self.scale_percentile < 100.0:
+            raise ConfigurationError(
+                f"scale_percentile must be in (0, 100), got {self.scale_percentile}"
+            )
+        if self.calibration_walks < 1:
+            raise ConfigurationError(
+                f"calibration_walks must be >= 1, got {self.calibration_walks}"
+            )
+        if self.max_attempts_per_sample < 1:
+            raise ConfigurationError(
+                "max_attempts_per_sample must be >= 1, got "
+                f"{self.max_attempts_per_sample}"
+            )
+
+    @property
+    def effective_walk_length(self) -> int:
+        """The forward walk length actually used."""
+        if self.walk_length is not None:
+            return self.walk_length
+        return 2 * self.diameter_hint + 1
+
+    def with_overrides(self, **changes) -> "WalkEstimateConfig":
+        """Copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)

@@ -1,0 +1,127 @@
+"""Initial crawling: exact sampling probabilities near the start node.
+
+Variance-reduction heuristic #1 (paper §5.2): crawl the h-hop neighborhood
+of the walk's starting node once, then compute — *exactly* — the forward
+walk's step distributions ``p_s`` for every ``s ≤ h`` by dynamic programming
+over the crawled zone.
+
+Why this is exact: after ``s ≤ h`` steps the walk's support lies within
+``s`` hops of the start, and the transition row of any node within ``h-1``
+hops only references nodes within ``h`` hops — all of which the crawl has
+queried (so their neighbor lists, hence degrees, are known).  A backward
+walk can therefore stop as soon as its remaining depth ``s`` drops to ``h``
+and read off the exact value ``p_s(x)`` (zero for nodes outside the
+support), which is both cheaper and lower-variance than recursing to the
+base case.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.walks.transitions import NeighborView, Node, TransitionDesign
+
+
+class InitialCrawl:
+    """h-hop crawl of a start node plus the exact ``p_s`` table.
+
+    Parameters
+    ----------
+    api:
+        Neighbor view (normally a charged :class:`SocialNetworkAPI`).
+    design:
+        Transit design of the forward walk whose probabilities we tabulate.
+    start:
+        The forward walk's starting node.
+    hops:
+        Crawl depth ``h`` (paper suggests 2 or 3; it uses 1 for the dense
+        Google Plus graph).
+    """
+
+    def __init__(
+        self,
+        api: NeighborView,
+        design: TransitionDesign,
+        start: Node,
+        hops: int,
+    ) -> None:
+        if hops < 0:
+            raise ConfigurationError(f"hops must be >= 0, got {hops}")
+        self.api = api
+        self.design = design
+        self.start = start
+        self.hops = hops
+        self._distances = self._crawl()
+        self._tables = self._exact_probability_tables()
+
+    def _crawl(self) -> Dict[Node, int]:
+        """BFS to depth ``hops``; queries every node within that distance."""
+        distances: Dict[Node, int] = {self.start: 0}
+        queue = deque([self.start])
+        while queue:
+            current = queue.popleft()
+            depth = distances[current]
+            if depth >= self.hops:
+                # Must still query the frontier node itself so its degree is
+                # known to the DP; api.neighbors on it happens below only if
+                # depth < hops, so do it here for frontier nodes.
+                self.api.neighbors(current)
+                continue
+            for neighbor in self.api.neighbors(current):
+                if neighbor not in distances:
+                    distances[neighbor] = depth + 1
+                    queue.append(neighbor)
+        return distances
+
+    def _exact_probability_tables(self) -> list[Dict[Node, float]]:
+        """Forward DP: ``tables[s][v] = p_s(v)`` exactly, for ``s ≤ hops``."""
+        tables: list[Dict[Node, float]] = [{self.start: 1.0}]
+        for _ in range(self.hops):
+            previous = tables[-1]
+            current: Dict[Node, float] = {}
+            for node, mass in previous.items():
+                row = self.design.transition_row(self.api, node)
+                for candidate, probability in row.items():
+                    current[candidate] = current.get(candidate, 0.0) + mass * probability
+            tables.append(current)
+        return tables
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def covers_step(self, s: int) -> bool:
+        """True when ``p_s`` is tabulated exactly (``0 ≤ s ≤ hops``)."""
+        return 0 <= s <= self.hops
+
+    def probability(self, node: Node, s: int) -> float:
+        """Exact ``p_s(node)``; 0.0 for nodes outside the step-``s`` support.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``s`` is not covered by the crawl (callers must check
+            :meth:`covers_step` first — asking for an uncovered step is a
+            logic error, not a data condition).
+        """
+        if not self.covers_step(s):
+            raise ConfigurationError(
+                f"step {s} not covered by an h={self.hops} crawl"
+            )
+        return self._tables[s].get(node, 0.0)
+
+    @property
+    def crawled_nodes(self) -> frozenset[Node]:
+        """All nodes the crawl queried."""
+        return frozenset(self._distances)
+
+    def distance(self, node: Node) -> int | None:
+        """Hop distance from the start for crawled nodes, else None."""
+        return self._distances.get(node)
+
+    def __repr__(self) -> str:
+        return (
+            f"InitialCrawl(start={self.start}, hops={self.hops}, "
+            f"nodes={len(self._distances)})"
+        )

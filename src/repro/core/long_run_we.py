@@ -1,0 +1,132 @@
+"""One-long-run WALK-ESTIMATE — the paper's §6.1 future-work sketch.
+
+The paper closes §6.1 with: "we do observe the potential of applying our
+WALK-ESTIMATE idea to one long run — e.g., by estimating the sampling
+probability for not only the last node (taken as a candidate) but every
+node on the walk path — we leave the detailed investigation to further
+work."  This module is that investigation.
+
+Design.  One continuous walk is cut into consecutive segments of ``t``
+steps.  Conditioned on its entry node ``w_k``, segment ``k``'s endpoint is
+distributed as ``p_t`` *from ``w_k``* — the same object WALK-ESTIMATE's
+backward walk estimates — so each endpoint can be accepted/rejected against
+the target exactly as in the many-short-runs sampler.  An accepted endpoint
+is target-distributed **regardless of where the segment started**, so every
+accepted sample has the right marginal law; what one long run cannot give
+is independence *between* samples (adjacent segments share the boundary
+node), which is the same caveat Eq. 25 attaches to the classical long run.
+
+Compared to the short-runs WALK-ESTIMATE:
+
+* no initial crawl — segment starts change every ``t`` steps, so no single
+  neighborhood is worth pre-paying for (the backward recursion runs to its
+  base case);
+* per-segment forward history is a single trajectory, so weighted sampling
+  still applies but with thin history;
+* the forward walk never restarts, which matters on interfaces where
+  "teleporting" back to the start is impossible or where the continuing
+  walk keeps re-visiting cached territory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import WalkEstimateConfig
+from repro.core.rejection import RejectionSampler, ScaleFactorBootstrap
+from repro.core.weighted import BackwardStats, ForwardHistory, weighted_backward_estimate
+from repro.errors import ConfigurationError, QueryBudgetExceededError
+from repro.osn.api import SocialNetworkAPI
+from repro.rng import RngLike, ensure_rng
+from repro.walks.samplers import SampleBatch
+from repro.walks.transitions import Node, TransitionDesign
+from repro.walks.walker import run_walk
+
+
+class LongRunWalkEstimateSampler:
+    """WALK-ESTIMATE over one continuous walk, segment by segment."""
+
+    def __init__(
+        self,
+        design: TransitionDesign,
+        config: Optional[WalkEstimateConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        base = config if config is not None else WalkEstimateConfig()
+        # The crawl heuristic is start-anchored and does not apply here.
+        self.config = base.with_overrides(crawl_hops=0)
+        self.design = design
+        self.name = name if name is not None else f"we-longrun-{design.name}"
+
+    def _estimate_segment(
+        self,
+        api: SocialNetworkAPI,
+        segment,
+        stats: BackwardStats,
+        rng,
+    ) -> float:
+        """Mean of backward realizations of ``p_t(end | start=w_k)``."""
+        history = ForwardHistory(segment.start, segment.steps)
+        history.record(segment)
+        total = 0.0
+        repetitions = self.config.backward_repetitions
+        for _ in range(repetitions):
+            total += weighted_backward_estimate(
+                api,
+                self.design,
+                segment.end,
+                segment.start,
+                segment.steps,
+                history=history if self.config.weighted_sampling else None,
+                epsilon=self.config.epsilon,
+                seed=rng,
+                stats=stats,
+            )
+        return total / repetitions
+
+    def sample(
+        self,
+        api: SocialNetworkAPI,
+        start: Node,
+        count: int,
+        seed: RngLike = None,
+    ) -> SampleBatch:
+        """Collect *count* target-distributed (correlated) samples."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        rng = ensure_rng(seed)
+        t = self.config.effective_walk_length
+        batch = SampleBatch(sampler=self.name)
+        stats = BackwardStats()
+        bootstrap = ScaleFactorBootstrap(percentile=self.config.scale_percentile)
+        rejection = RejectionSampler(bootstrap, seed=rng)
+        current = start
+        attempts_left = self.config.max_attempts_per_sample * count
+        try:
+            # Calibration: a few segments to seed the scale-factor pool.
+            for _ in range(self.config.calibration_walks):
+                segment = run_walk(api, self.design, current, t, seed=rng)
+                current = segment.end
+                batch.walk_steps += t
+                estimate = self._estimate_segment(api, segment, stats, rng)
+                weight = self.design.target_weight(api, segment.end)
+                if estimate > 0 and weight > 0:
+                    bootstrap.observe(estimate / weight)
+            if not bootstrap.ready:
+                for _ in range(bootstrap.minimum_observations):
+                    bootstrap.observe(1.0)
+            while len(batch.nodes) < count and attempts_left > 0:
+                attempts_left -= 1
+                segment = run_walk(api, self.design, current, t, seed=rng)
+                current = segment.end
+                batch.walk_steps += t
+                estimate = self._estimate_segment(api, segment, stats, rng)
+                weight = self.design.target_weight(api, segment.end)
+                if rejection.accept(estimate, weight):
+                    batch.nodes.append(segment.end)
+                    batch.target_weights.append(weight)
+        except QueryBudgetExceededError:
+            pass
+        batch.walk_steps += stats.steps
+        batch.query_cost = api.query_cost
+        return batch

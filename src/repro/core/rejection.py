@@ -1,0 +1,138 @@
+"""Acceptance–rejection with a bootstrapped scale factor (paper §2.3, §6.3.2).
+
+Rejection sampling corrects a sample drawn with probability ``p(u)`` to a
+target ``q(u)`` by accepting with probability
+
+    β(u) = (q(u) / p(u)) · min_v p(v)/q(v).
+
+Targets are handled *unnormalized* (``q̃``; degree for SRW, 1 for MHRW) —
+the normalizer cancels inside β, which is what makes the method usable when
+``|V|`` is unknown.  The exact ``min_v p(v)/q̃(v)`` needs global knowledge,
+so, following §6.3.2, :class:`ScaleFactorBootstrap` tracks the observed
+ratios ``p̂(v)/q̃(v)`` and uses their 10th percentile as the scale factor;
+β is clamped to 1, trading a small bias for efficiency exactly as the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.rng import RngLike, ensure_rng
+
+
+class ScaleFactorBootstrap:
+    """Running estimate of ``min_v p(v)/q̃(v)`` from observed ratios."""
+
+    def __init__(self, percentile: float = 10.0, minimum_observations: int = 5) -> None:
+        if not 0.0 < percentile < 100.0:
+            raise ConfigurationError(
+                f"percentile must be in (0, 100), got {percentile}"
+            )
+        if minimum_observations < 1:
+            raise ConfigurationError(
+                f"minimum_observations must be >= 1, got {minimum_observations}"
+            )
+        self.percentile = percentile
+        self.minimum_observations = minimum_observations
+        self._ratios: List[float] = []
+
+    def observe(self, ratio: float) -> None:
+        """Record one observed ``p̂(v)/q̃(v)`` (non-finite/negative dropped).
+
+        Zero ratios are kept out of the pool: a ``p̂ = 0`` estimate carries
+        no scale information (it would drive the factor to 0, accepting
+        everything and destroying the correction).
+        """
+        if ratio > 0.0 and np.isfinite(ratio):
+            self._ratios.append(float(ratio))
+
+    @property
+    def observation_count(self) -> int:
+        """Number of usable ratios recorded."""
+        return len(self._ratios)
+
+    @property
+    def ready(self) -> bool:
+        """True once enough ratios exist for a stable percentile."""
+        return len(self._ratios) >= self.minimum_observations
+
+    def scale_factor(self) -> float:
+        """The bootstrapped stand-in for ``min_v p(v)/q̃(v)``.
+
+        Raises
+        ------
+        EstimationError
+            If called before :attr:`ready`.
+        """
+        if not self._ratios:
+            raise EstimationError("no ratios observed yet")
+        if not self.ready:
+            raise EstimationError(
+                f"need {self.minimum_observations} ratios, have {len(self._ratios)}"
+            )
+        return float(np.percentile(self._ratios, self.percentile))
+
+
+class RejectionSampler:
+    """Accept/reject decisions against an unnormalized target.
+
+    Parameters
+    ----------
+    bootstrap:
+        The scale-factor tracker (shared with the calibration phase).
+    seed:
+        RNG for the acceptance coin flips.
+    """
+
+    def __init__(self, bootstrap: ScaleFactorBootstrap, seed: RngLike = None) -> None:
+        self.bootstrap = bootstrap
+        self._rng = ensure_rng(seed)
+        self.accepted = 0
+        self.rejected = 0
+
+    def acceptance_probability(self, estimated_p: float, target_weight: float) -> float:
+        """β(u) = clamp(scale / (p̂(u)/q̃(u)), ≤ 1).
+
+        A ``p̂ = 0`` estimate yields β = 1: the walk thinks the node was
+        (nearly) unreachable, so it is certainly not over-represented.
+        """
+        if target_weight <= 0.0:
+            raise ConfigurationError(
+                f"target weight must be positive, got {target_weight}"
+            )
+        if estimated_p < 0.0:
+            raise EstimationError(f"negative probability estimate {estimated_p}")
+        scale = self.bootstrap.scale_factor()
+        if estimated_p == 0.0:
+            return 1.0
+        ratio = estimated_p / target_weight
+        return min(1.0, scale / ratio)
+
+    def accept(self, estimated_p: float, target_weight: float) -> bool:
+        """Flip the β(u) coin; also feeds the ratio back into the bootstrap.
+
+        Feeding every decision's ratio back keeps the scale factor adaptive
+        as more of the graph is seen (the paper bootstraps "based on the
+        samples already observed").
+        """
+        beta = self.acceptance_probability(estimated_p, target_weight)
+        if target_weight > 0.0 and estimated_p > 0.0:
+            self.bootstrap.observe(estimated_p / target_weight)
+        accepted = bool(self._rng.random() < beta)
+        if accepted:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+        return accepted
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Empirical acceptance rate over all decisions so far."""
+        total = self.accepted + self.rejected
+        if total == 0:
+            return 0.0
+        return self.accepted / total

@@ -1,0 +1,122 @@
+"""UNBIASED-ESTIMATE: the backward random walk (paper Algorithm 1).
+
+Estimates ``p_t(u)`` — the probability that a *t*-step forward walk from
+``w`` ends at ``u`` — by walking *backward* from ``u``:
+
+    p_t(u) = Σ_x  T(x, u) · p_{t-1}(x)        over predecessors x of u.
+
+Draw one predecessor ``x`` uniformly from the candidate set ``C(u)``, then
+
+    estimate = |C(u)| · T(x, u) · estimate_of(p_{t-1}(x)),
+
+recursing until ``t = 0`` (worth 1 at the start node, 0 elsewhere) or until
+an :class:`~repro.core.crawl.InitialCrawl` table covers the remaining depth.
+Unbiasedness follows by induction exactly as in the paper's Eq. 22–24 —
+and is verified in the test suite by exhaustive enumeration of backward
+paths on small graphs.
+
+The candidate set ``C(u)`` is ``N(u)`` plus ``u`` itself when the design
+has a self-loop at ``u`` (MHRW does); on an undirected graph these are the
+only states with ``T(x, u) > 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.crawl import InitialCrawl
+from repro.rng import RngLike, ensure_rng
+from repro.walks.transitions import NeighborView, Node, TransitionDesign
+
+
+def backward_candidates(
+    view: NeighborView, design: TransitionDesign, node: Node
+) -> tuple[Node, ...]:
+    """All states that can transition into *node* in one step.
+
+    On an undirected graph, predecessors of ``u`` are among ``N(u) ∪ {u}``;
+    ``u`` itself is included exactly when the design can self-loop
+    (``may_self_loop``).  When the particular node's self-loop mass happens
+    to be zero, including it is still unbiased — the realization just picks
+    up a zero weight — and avoids materializing the full transition row,
+    which for MHRW would query every neighbor's degree.
+    """
+    neighbors = view.neighbors(node)
+    if design.may_self_loop:
+        return neighbors + (node,)
+    return neighbors
+
+
+def unbiased_estimate(
+    view: NeighborView,
+    design: TransitionDesign,
+    node: Node,
+    start: Node,
+    t: int,
+    seed: RngLike = None,
+    crawl: Optional[InitialCrawl] = None,
+    max_depth: Optional[int] = None,
+) -> float:
+    """One unbiased realization of the estimator of ``p_t(node)``.
+
+    Parameters
+    ----------
+    view:
+        Neighbor view; a charged API accrues the backward walk's query cost.
+    design:
+        Transit design of the *forward* walk being estimated.
+    node:
+        The node whose sampling probability is estimated.
+    start:
+        The forward walk's starting node ``w``.
+    t:
+        Forward walk length.
+    crawl:
+        Optional exact-probability table; when provided the recursion stops
+        at depth ``crawl.hops`` and reads the exact value (variance
+        reduction #1, §5.2).
+    max_depth:
+        Internal recursion guard; defaults to ``t``.
+
+    Returns
+    -------
+    float
+        A single non-negative realization with expectation ``p_t(node)``.
+    """
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    rng = ensure_rng(seed)
+    return _backward(view, design, node, start, t, rng, crawl)
+
+
+def _backward(
+    view: NeighborView,
+    design: TransitionDesign,
+    node: Node,
+    start: Node,
+    t: int,
+    rng: np.random.Generator,
+    crawl: Optional[InitialCrawl],
+) -> float:
+    # Iterative form of the recursion: accumulate the product weight while
+    # walking backward, so deep walks cannot hit Python's recursion limit.
+    weight = 1.0
+    current = node
+    depth = t
+    while True:
+        if crawl is not None and crawl.covers_step(depth):
+            return weight * crawl.probability(current, depth)
+        if depth == 0:
+            return weight if current == start else 0.0
+        candidates = backward_candidates(view, design, current)
+        predecessor = candidates[int(rng.integers(0, len(candidates)))]
+        transition = design.transition_probability(view, predecessor, current)
+        weight *= len(candidates) * transition
+        if weight == 0.0:
+            # The sampled predecessor cannot actually reach `current`
+            # (e.g. a no-self-loop candidate); the realization is 0.
+            return 0.0
+        current = predecessor
+        depth -= 1

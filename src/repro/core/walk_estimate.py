@@ -1,0 +1,271 @@
+"""WALK-ESTIMATE: the full sampler (paper §3–§5).
+
+Per sample: run a *short* forward walk (``2d + 1`` steps by default, §4.3),
+take its endpoint as a candidate, ESTIMATE the candidate's sampling
+probability with crawl-assisted weighted backward walks, and
+accept/reject it against the input design's target distribution.  The
+output sample follows the *same* target distribution as the input MCMC
+sampler — WALK-ESTIMATE is a swap-in replacement (§1.2) — at a fraction of
+the query cost.
+
+The ablation variants of §7.1 are exposed as factory functions:
+
+========================  ==============  ===================
+variant                   initial crawl   weighted sampling
+========================  ==============  ===================
+:func:`we_none_sampler`   —               —
+:func:`we_crawl_sampler`  ✓               —
+:func:`we_weighted_sampler`  —            ✓
+:func:`we_full_sampler`   ✓               ✓
+========================  ==============  ===================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import WalkEstimateConfig
+from repro.core.crawl import InitialCrawl
+from repro.core.estimate import ProbabilityEstimator
+from repro.core.rejection import RejectionSampler, ScaleFactorBootstrap
+from repro.core.weighted import ForwardHistory
+from repro.errors import ConfigurationError, QueryBudgetExceededError
+from repro.osn.api import SocialNetworkAPI
+from repro.rng import RngLike, ensure_rng
+from repro.walks.samplers import SampleBatch
+from repro.walks.transitions import Node, TransitionDesign
+from repro.walks.walker import run_walk
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """Full provenance of one accept/reject decision."""
+
+    candidate: Node
+    estimated_probability: float
+    target_weight: float
+    acceptance_probability: float
+    accepted: bool
+    query_cost_after: int
+
+
+@dataclass
+class WalkEstimateReport:
+    """Everything a WALK-ESTIMATE run produced beyond the samples."""
+
+    records: List[SampleRecord] = field(default_factory=list)
+    forward_walks: int = 0
+    forward_steps: int = 0
+    backward_steps: int = 0
+    crawl_cost: int = 0
+
+    @property
+    def attempts(self) -> int:
+        """Total accept/reject decisions made."""
+        return len(self.records)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of candidates accepted."""
+        if not self.records:
+            return 0.0
+        return sum(r.accepted for r in self.records) / len(self.records)
+
+    @property
+    def total_steps(self) -> int:
+        """Forward plus backward transitions (Figure 5's effort measure)."""
+        return self.forward_steps + self.backward_steps
+
+
+class WalkEstimateSampler:
+    """The WALK-ESTIMATE sampler over any input transition design.
+
+    Parameters
+    ----------
+    design:
+        The input MCMC sampler's transit design; WALK-ESTIMATE reproduces
+        its target distribution.
+    config:
+        Algorithm knobs; defaults follow the paper (§7.1).
+    name:
+        Label for reports; defaults to ``we-<design>``.
+    """
+
+    def __init__(
+        self,
+        design: TransitionDesign,
+        config: Optional[WalkEstimateConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.design = design
+        self.config = config if config is not None else WalkEstimateConfig()
+        self.name = name if name is not None else f"we-{design.name}"
+        #: Report of the most recent :meth:`sample` call.
+        self.last_report: Optional[WalkEstimateReport] = None
+
+    def sample(
+        self,
+        api: SocialNetworkAPI,
+        start: Node,
+        count: int,
+        seed: RngLike = None,
+    ) -> SampleBatch:
+        """Draw *count* samples of the design's target distribution.
+
+        Stops early with a partial batch when the API's query budget runs
+        out; detailed provenance lands in :attr:`last_report`.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        rng = ensure_rng(seed)
+        t = self.config.effective_walk_length
+        report = WalkEstimateReport()
+        self.last_report = report
+        batch = SampleBatch(sampler=self.name)
+        estimator: Optional[ProbabilityEstimator] = None
+
+        try:
+            crawl = self._build_crawl(api, start)
+            report.crawl_cost = api.query_cost
+            history = ForwardHistory(start, t)
+            estimator = ProbabilityEstimator(
+                api,
+                self.design,
+                start,
+                t,
+                self.config,
+                history=history,
+                crawl=crawl,
+                seed=rng,
+            )
+            bootstrap = ScaleFactorBootstrap(percentile=self.config.scale_percentile)
+            rejection = RejectionSampler(bootstrap, seed=rng)
+
+            self._calibrate(api, start, t, history, estimator, bootstrap, report, rng)
+
+            attempts_left = self.config.max_attempts_per_sample * count
+            while len(batch.nodes) < count and attempts_left > 0:
+                attempts_left -= 1
+                candidate = self._one_candidate(api, start, t, history, report, rng)
+                estimate = estimator.estimate(candidate)
+                target_weight = self.design.target_weight(api, candidate)
+                beta = rejection.acceptance_probability(estimate.mean, target_weight)
+                accepted = rejection.accept(estimate.mean, target_weight)
+                report.records.append(
+                    SampleRecord(
+                        candidate=candidate,
+                        estimated_probability=estimate.mean,
+                        target_weight=target_weight,
+                        acceptance_probability=beta,
+                        accepted=accepted,
+                        query_cost_after=api.query_cost,
+                    )
+                )
+                if accepted:
+                    batch.nodes.append(candidate)
+                    batch.target_weights.append(target_weight)
+        except QueryBudgetExceededError:
+            pass  # Return whatever was gathered; cost curves use partials.
+
+        report.backward_steps = estimator.stats.steps if estimator is not None else 0
+        batch.query_cost = api.query_cost
+        batch.walk_steps = report.total_steps
+        return batch
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _build_crawl(
+        self, api: SocialNetworkAPI, start: Node
+    ) -> Optional[InitialCrawl]:
+        if self.config.crawl_hops == 0:
+            return None
+        return InitialCrawl(api, self.design, start, self.config.crawl_hops)
+
+    def _one_candidate(self, api, start, t, history, report, rng) -> Node:
+        walk = run_walk(api, self.design, start, t, seed=rng)
+        history.record(walk)
+        report.forward_walks += 1
+        report.forward_steps += t
+        return walk.end
+
+    def _calibrate(
+        self, api, start, t, history, estimator, bootstrap, report, rng
+    ) -> None:
+        """Seed the WS-BW history and the scale-factor pool (§6.3.2).
+
+        The calibration walks are not wasted: their trajectories feed the
+        weighted-sampling history, and their endpoint estimates populate
+        the ratio pool the 10th-percentile scale factor is drawn from.
+        """
+        light_repetitions = max(3, self.config.backward_repetitions // 3)
+        for _ in range(self.config.calibration_walks):
+            candidate = self._one_candidate(api, start, t, history, report, rng)
+            estimate = estimator.estimate(
+                candidate, repetitions=light_repetitions, refine=False
+            )
+            target_weight = self.design.target_weight(api, candidate)
+            if target_weight > 0 and estimate.mean > 0:
+                bootstrap.observe(estimate.mean / target_weight)
+        if not bootstrap.ready:
+            # Degenerate calibration (e.g. every estimate was 0) — fall back
+            # to a neutral scale so sampling can proceed; the pool keeps
+            # filling during the main loop.
+            for _ in range(bootstrap.minimum_observations):
+                bootstrap.observe(1.0)
+
+
+# ----------------------------------------------------------------------
+# §7.1 ablation variants
+# ----------------------------------------------------------------------
+def we_none_sampler(
+    design: TransitionDesign, config: Optional[WalkEstimateConfig] = None
+) -> WalkEstimateSampler:
+    """WE-None: neither variance-reduction heuristic."""
+    base = config if config is not None else WalkEstimateConfig()
+    return WalkEstimateSampler(
+        design,
+        base.with_overrides(crawl_hops=0, weighted_sampling=False),
+        name=f"we-none-{design.name}",
+    )
+
+
+def we_crawl_sampler(
+    design: TransitionDesign, config: Optional[WalkEstimateConfig] = None
+) -> WalkEstimateSampler:
+    """WE-Crawl: initial crawling only."""
+    base = config if config is not None else WalkEstimateConfig()
+    if base.crawl_hops == 0:
+        base = base.with_overrides(crawl_hops=2)
+    return WalkEstimateSampler(
+        design,
+        base.with_overrides(weighted_sampling=False),
+        name=f"we-crawl-{design.name}",
+    )
+
+
+def we_weighted_sampler(
+    design: TransitionDesign, config: Optional[WalkEstimateConfig] = None
+) -> WalkEstimateSampler:
+    """WE-Weighted: weighted backward sampling only."""
+    base = config if config is not None else WalkEstimateConfig()
+    return WalkEstimateSampler(
+        design,
+        base.with_overrides(crawl_hops=0, weighted_sampling=True),
+        name=f"we-weighted-{design.name}",
+    )
+
+
+def we_full_sampler(
+    design: TransitionDesign, config: Optional[WalkEstimateConfig] = None
+) -> WalkEstimateSampler:
+    """WE: both heuristics on (the paper's main algorithm)."""
+    base = config if config is not None else WalkEstimateConfig()
+    if base.crawl_hops == 0:
+        base = base.with_overrides(crawl_hops=2)
+    return WalkEstimateSampler(
+        design,
+        base.with_overrides(weighted_sampling=True),
+        name=f"we-{design.name}",
+    )

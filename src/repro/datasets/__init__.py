@@ -1,0 +1,41 @@
+"""Dataset surrogates for the paper's evaluation graphs.
+
+No network access is available (and the paper's Google Plus crawl was never
+published), so each evaluation dataset is replaced by a synthetic surrogate
+whose *shape* matches what the paper's comparisons depend on: heavy-tailed
+degrees, small diameter, clustering, and node attributes correlated with
+topology.  DESIGN.md's substitution table records the mapping.
+
+A fun exactness note: the paper's "small scale-free network of size 1000
+nodes and 6951 edges" (Table 1 / Figure 12) is exactly a Barabási–Albert
+graph with m = 7 — ``m·(n - m) = 7 · 993 = 6951`` — so
+:func:`exact_bias_graph` reproduces that workload precisely.
+"""
+
+from repro.datasets.attributes import (
+    attach_stars,
+    attach_description_lengths,
+    attach_topological_attributes,
+)
+from repro.datasets.surrogates import (
+    SocialDataset,
+    google_plus_surrogate,
+    twitter_surrogate,
+    yelp_surrogate,
+)
+from repro.datasets.synthetic import ba_synthetic, exact_bias_graph
+from repro.datasets.registry import DATASET_BUILDERS, build_dataset
+
+__all__ = [
+    "SocialDataset",
+    "google_plus_surrogate",
+    "yelp_surrogate",
+    "twitter_surrogate",
+    "ba_synthetic",
+    "exact_bias_graph",
+    "attach_stars",
+    "attach_description_lengths",
+    "attach_topological_attributes",
+    "DATASET_BUILDERS",
+    "build_dataset",
+]

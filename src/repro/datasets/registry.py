@@ -1,0 +1,39 @@
+"""Name-based dataset registry for the CLI and experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.datasets.surrogates import (
+    SocialDataset,
+    google_plus_surrogate,
+    twitter_surrogate,
+    yelp_surrogate,
+)
+from repro.datasets.synthetic import ba_synthetic, exact_bias_graph
+from repro.errors import ConfigurationError
+from repro.rng import RngLike
+
+DATASET_BUILDERS: Dict[str, Callable[..., SocialDataset]] = {
+    "google_plus": google_plus_surrogate,
+    "yelp": yelp_surrogate,
+    "twitter": twitter_surrogate,
+    "ba_synthetic": ba_synthetic,
+    "exact_bias": exact_bias_graph,
+}
+
+
+def build_dataset(name: str, seed: RngLike = None, **kwargs) -> SocialDataset:
+    """Build a dataset by registry name.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names; the message lists the valid ones.
+    """
+    builder = DATASET_BUILDERS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; valid: " + ", ".join(sorted(DATASET_BUILDERS))
+        )
+    return builder(seed=seed, **kwargs)

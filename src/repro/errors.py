@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common operational cases (budget exhaustion, bad
+graph input, configuration mistakes).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples: querying a node that does not exist, adding a self-loop to a
+    simple graph, or loading a malformed edge list.
+    """
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a node absent from the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class QueryBudgetExceededError(ReproError):
+    """Raised when an OSN access would exceed the configured query budget.
+
+    The sampler catches this to stop gracefully and report partial results;
+    user code may also catch it to implement its own retry/abort policy.
+    """
+
+    def __init__(self, budget: int, spent: int) -> None:
+        super().__init__(
+            f"query budget exhausted: budget={budget}, already spent={spent}"
+        )
+        self.budget = budget
+        self.spent = spent
+
+
+class RateLimitExceededError(ReproError):
+    """Raised when the simulated OSN rate limiter rejects a query."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"rate limit exceeded; retry after {retry_after:.2f} simulated seconds"
+        )
+        self.retry_after = retry_after
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised for invalid algorithm or experiment configuration values."""
+
+
+class EstimationError(ReproError):
+    """Raised when a probability estimation cannot be produced.
+
+    For example, a backward walk that is configured with zero repetitions,
+    or an estimate requested for a node the forward walk never reached.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when a convergence monitor cannot make a determination."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment is misconfigured or references unknown ids."""

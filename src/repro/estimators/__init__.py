@@ -1,0 +1,41 @@
+"""Turning samples into analytics: AVG estimators, error and bias metrics.
+
+The paper's end goal is third-party analytics (§1): estimate AVG aggregates
+(degree, stars, self-description length, …) from sampled nodes, and measure
+quality as relative error of the estimate (§2.4) or — on small graphs —
+as the distance between the achieved sampling distribution and the target
+(Table 1, Figure 12).
+"""
+
+from repro.estimators.aggregates import (
+    average_estimate,
+    importance_weighted_mean,
+    plain_mean,
+)
+from repro.estimators.metrics import (
+    empirical_distribution,
+    kl_bias,
+    l_infinity_bias,
+    relative_error,
+    total_variation_bias,
+)
+from repro.estimators.distribution import (
+    DistributionComparison,
+    sampling_distribution_comparison,
+)
+from repro.estimators.intervals import ConfidenceInterval, bootstrap_interval
+
+__all__ = [
+    "plain_mean",
+    "importance_weighted_mean",
+    "average_estimate",
+    "relative_error",
+    "empirical_distribution",
+    "l_infinity_bias",
+    "kl_bias",
+    "total_variation_bias",
+    "DistributionComparison",
+    "sampling_distribution_comparison",
+    "ConfidenceInterval",
+    "bootstrap_interval",
+]

@@ -1,0 +1,82 @@
+"""Sampling-distribution comparison series (paper Figure 12).
+
+Figure 12 plots, for a small scale-free graph, the PDF and CDF of three
+distributions over nodes ordered by descending degree: the theoretical
+target, SRW's achieved sampling distribution, and WE's.  This module builds
+those series from empirical node samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.estimators.metrics import bias_report, empirical_distribution
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class DistributionComparison:
+    """PDF/CDF series over degree-ordered nodes plus bias metrics.
+
+    Attributes
+    ----------
+    node_order:
+        Node ids sorted by descending degree — the Figure 12 x-axis.
+    target_pdf / sampled_pdfs:
+        Probability mass in that node order; ``sampled_pdfs`` maps a
+        sampler label to its series.
+    biases:
+        Per-sampler ``{linf, kl, tv}`` against the target (Table 1's rows).
+    """
+
+    node_order: tuple[int, ...]
+    target_pdf: np.ndarray
+    sampled_pdfs: dict[str, np.ndarray]
+    biases: dict[str, dict[str, float]]
+
+    def cdf(self, label: str | None = None) -> np.ndarray:
+        """Cumulative series for a sampler label (None = target)."""
+        pdf = self.target_pdf if label is None else self.sampled_pdfs[label]
+        return np.cumsum(pdf)
+
+
+def sampling_distribution_comparison(
+    graph: Graph,
+    target: np.ndarray,
+    samples: dict[str, Sequence[int]],
+) -> DistributionComparison:
+    """Build the Figure 12 comparison from raw per-sampler node samples.
+
+    Parameters
+    ----------
+    graph:
+        The (relabeled) graph — supplies node count and degrees.
+    target:
+        The theoretical target distribution over ``0..n-1``.
+    samples:
+        Mapping of sampler label to the node ids it drew.
+    """
+    n = graph.number_of_nodes()
+    target = np.asarray(target, dtype=float)
+    if target.shape != (n,):
+        raise EstimationError(f"target shape {target.shape} != ({n},)")
+    order = tuple(
+        sorted(range(n), key=lambda v: (-graph.degree(v), v))
+    )
+    index = np.array(order)
+    sampled_pdfs: dict[str, np.ndarray] = {}
+    biases: dict[str, dict[str, float]] = {}
+    for label, nodes in samples.items():
+        pdf = empirical_distribution(nodes, n)
+        biases[label] = bias_report(pdf, target)
+        sampled_pdfs[label] = pdf[index]
+    return DistributionComparison(
+        node_order=order,
+        target_pdf=target[index],
+        sampled_pdfs=sampled_pdfs,
+        biases=biases,
+    )

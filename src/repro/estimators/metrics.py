@@ -1,0 +1,78 @@
+"""Quality metrics: relative error and sampling-distribution bias.
+
+Relative error ``|x̃ - x| / x`` scores aggregate estimates against ground
+truth (the paper's large-graph measure, §2.4/§7.1).  The bias metrics score
+an *empirical sampling distribution* — node visit frequencies over many
+sampler runs — against the target distribution (the paper's small-graph
+"exact bias" measure, Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.markov.distributions import (
+    kl_divergence,
+    l_infinity_distance,
+    total_variation_distance,
+)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / |truth|``.
+
+    Raises
+    ------
+    EstimationError
+        If *truth* is zero — relative error is undefined there, and the
+        aggregates the paper evaluates (degrees, stars, lengths) are never
+        zero on real graphs.
+    """
+    if truth == 0:
+        raise EstimationError("relative error undefined for zero ground truth")
+    return abs(estimate - truth) / abs(truth)
+
+
+def empirical_distribution(nodes: Sequence[int], n: int) -> np.ndarray:
+    """Visit-frequency distribution over node ids ``0..n-1``.
+
+    Raises
+    ------
+    EstimationError
+        If the sample is empty or references ids outside ``0..n-1``.
+    """
+    if len(nodes) == 0:
+        raise EstimationError("cannot build a distribution from zero samples")
+    counts = np.zeros(n, dtype=float)
+    for node in nodes:
+        if not 0 <= node < n:
+            raise EstimationError(f"node id {node} outside 0..{n - 1}")
+        counts[node] += 1.0
+    return counts / counts.sum()
+
+
+def l_infinity_bias(sampled: np.ndarray, target: np.ndarray) -> float:
+    """ℓ∞ distance between sampling and target distributions (Table 1)."""
+    return l_infinity_distance(sampled, target)
+
+
+def kl_bias(sampled: np.ndarray, target: np.ndarray) -> float:
+    """KL(sampled ‖ target) (Table 1's second row)."""
+    return kl_divergence(sampled, target)
+
+
+def total_variation_bias(sampled: np.ndarray, target: np.ndarray) -> float:
+    """Total-variation distance (supporting metric)."""
+    return total_variation_distance(sampled, target)
+
+
+def bias_report(sampled: np.ndarray, target: np.ndarray) -> Dict[str, float]:
+    """All three bias metrics in one dict (keys: linf, kl, tv)."""
+    return {
+        "linf": l_infinity_bias(sampled, target),
+        "kl": kl_bias(sampled, target),
+        "tv": total_variation_bias(sampled, target),
+    }

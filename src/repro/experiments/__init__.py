@@ -1,0 +1,33 @@
+"""Experiment harness: one callable per paper figure/table.
+
+Every experiment returns an :class:`~repro.experiments.runner.ExperimentResult`
+containing the same series/rows the paper plots, renderable as plain text or
+CSV.  The registry maps experiment ids (``figure1`` … ``figure12``,
+``table1``, plus extra ablations) to callables; the CLI and the benchmark
+suite both go through it.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    SamplerSpec,
+    Series,
+    TableData,
+    error_vs_cost,
+    error_vs_samples,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.reporting import render_result, result_to_csv
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "TableData",
+    "SamplerSpec",
+    "error_vs_cost",
+    "error_vs_samples",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "render_result",
+    "result_to_csv",
+]

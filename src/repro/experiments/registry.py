@@ -1,0 +1,61 @@
+"""Experiment registry: id -> callable(scale, seed) -> ExperimentResult."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ExperimentError
+from repro.experiments import extras, figures, tables
+from repro.experiments.runner import ExperimentResult
+from repro.rng import RngLike
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+EXPERIMENTS: Dict[str, ExperimentFn] = {
+    "figure1": figures.figure1,
+    "figure2": figures.figure2,
+    "figure3": figures.figure3,
+    # figure4 is a schematic (short-runs vs long-run illustration), no data
+    "figure5": figures.figure5,
+    "figure6": figures.figure6,
+    "figure7": figures.figure7,
+    "figure8": figures.figure8,
+    "figure9": figures.figure9,
+    "figure10": figures.figure10,
+    "figure11": figures.figure11,
+    "figure12": figures.figure12,
+    "table1": tables.table1,
+    "backward_variance": extras.backward_variance,
+    "restrictions": extras.restrictions,
+    "long_run": extras.long_run,
+    "scale_factor": extras.scale_factor,
+    "crawl_baselines": extras.crawl_baselines,
+    "we_long_run": extras.we_long_run,
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    """Look up an experiment by id.
+
+    Raises
+    ------
+    ExperimentError
+        For unknown ids; the message lists the valid ones.
+    """
+    fn = EXPERIMENTS.get(experiment_id)
+    if fn is None:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; valid: "
+            + ", ".join(sorted(EXPERIMENTS))
+        )
+    return fn
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "quick", seed: RngLike = None
+) -> ExperimentResult:
+    """Run one experiment at the given scale."""
+    fn = get_experiment(experiment_id)
+    if seed is None:
+        return fn(scale=scale)
+    return fn(scale=scale, seed=seed)

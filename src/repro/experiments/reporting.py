@@ -1,0 +1,98 @@
+"""Plain-text and CSV rendering of experiment results.
+
+Benchmarks and the CLI both print through :func:`render_result`, so
+``bench_output.txt`` doubles as the measured-results record referenced by
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List
+
+from repro.experiments.runner import ExperimentResult, Series, TableData
+
+
+def _format_number(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _render_series_table(series_list: List[Series], x_label: str, y_label: str) -> str:
+    # Align all series on the union of x values for a compact table.
+    xs = sorted({x for s in series_list for x in s.x})
+    header = [x_label] + [s.label for s in series_list]
+    rows = []
+    for x in xs:
+        row = [_format_number(x)]
+        for s in series_list:
+            try:
+                index = s.x.index(x)
+                row.append(_format_number(s.y[index]))
+            except ValueError:
+                row.append("-")
+        rows.append(row)
+    return _render_grid(header, rows) + f"\n(y = {y_label})"
+
+
+def _render_grid(header: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table(table: TableData) -> str:
+    """Render a :class:`TableData` as an aligned text grid."""
+    rows = [[_format_number(cell) for cell in row] for row in table.rows]
+    return _render_grid(list(table.columns), rows)
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Full text report of an experiment: panels, tables, notes."""
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    for note in result.notes:
+        lines.append(f"   note: {note}")
+    for panel_name, series_list in result.panels.items():
+        lines.append("")
+        lines.append(f"-- {panel_name} --")
+        lines.append(_render_series_table(series_list, result.x_label, result.y_label))
+    for table_name, table in result.tables.items():
+        lines.append("")
+        lines.append(f"-- {table_name} --")
+        lines.append(render_table(table))
+    return "\n".join(lines)
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """CSV dump: one row per (panel, series, point) plus table rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["experiment", "panel", "series", result.x_label, result.y_label]
+    )
+    for panel_name, series_list in result.panels.items():
+        for series in series_list:
+            for x, y in zip(series.x, series.y):
+                writer.writerow([result.experiment_id, panel_name, series.label, x, y])
+    for table_name, table in result.tables.items():
+        writer.writerow([])
+        writer.writerow([result.experiment_id, table_name] + list(table.columns))
+        for row in table.rows:
+            writer.writerow([result.experiment_id, table_name] + list(row))
+    return buffer.getvalue()

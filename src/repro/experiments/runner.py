@@ -1,0 +1,255 @@
+"""Shared experiment machinery: result records and the two core curves.
+
+Most of the paper's evaluation figures are one of two curve families:
+
+* **relative error vs query cost** (Figures 6–9, 11a): sweep a query
+  budget, run each sampler until the budget is spent, estimate the AVG
+  aggregate from whatever samples were gathered, score against ground
+  truth, average over repetitions;
+* **relative error vs number of samples** (Figures 10, 11b): run each
+  sampler to a fixed sample count (no budget) and score prefix estimates
+  at checkpoints — this isolates sample *quality* from walk cost.
+
+:func:`error_vs_cost` and :func:`error_vs_samples` implement these once;
+the figure modules parameterize them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.datasets.surrogates import SocialDataset
+from repro.errors import EstimationError, ExperimentError
+from repro.estimators.aggregates import average_estimate
+from repro.estimators.metrics import relative_error
+from repro.osn.accounting import QueryBudget
+from repro.osn.api import SocialNetworkAPI
+from repro.rng import RngLike, ensure_rng
+from repro.walks.samplers import SampleBatch
+
+
+class NodeSampler(Protocol):
+    """What the harness needs from a sampler (BurnInSampler, WE, ...)."""
+
+    def sample(
+        self, api: SocialNetworkAPI, start: int, count: int, seed=None
+    ) -> SampleBatch:
+        """Collect up to *count* samples through *api* starting at *start*."""
+
+
+@dataclass(frozen=True)
+class SamplerSpec:
+    """A labeled sampler factory (fresh instance per run for isolation)."""
+
+    label: str
+    factory: Callable[[], NodeSampler]
+
+
+@dataclass
+class Series:
+    """One plotted line: (x, y) pairs under a label."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+
+@dataclass
+class TableData:
+    """A small table: column names plus rows."""
+
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced.
+
+    ``panels`` maps a subplot label (e.g. "Average Degree (SRW)") to its
+    series, mirroring the paper's multi-panel figures; ``tables`` holds
+    tabular outputs (Table 1); ``notes`` records scale substitutions so a
+    reader of the rendered output knows what was run.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    panels: Dict[str, List[Series]] = field(default_factory=dict)
+    tables: Dict[str, TableData] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def panel(self, name: str) -> List[Series]:
+        """Series list for a panel, creating it on first use."""
+        return self.panels.setdefault(name, [])
+
+
+def _attribute_values(
+    dataset: SocialDataset, nodes: Sequence[int], attribute: str
+) -> List[float]:
+    graph = dataset.graph
+    return [float(graph.get_attribute(attribute, node)) for node in nodes]
+
+
+def _prefix_estimate(
+    batch: SampleBatch, values: Sequence[float], count: int
+) -> float:
+    prefix = SampleBatch(
+        nodes=list(batch.nodes[:count]),
+        target_weights=list(batch.target_weights[:count]),
+        sampler=batch.sampler,
+    )
+    return average_estimate(prefix, list(values[:count]))
+
+
+def pick_starts(
+    dataset: SocialDataset, repetitions: int, seed: RngLike
+) -> List[int]:
+    """Repetition start nodes, drawn uniformly from the hidden graph.
+
+    All samplers in one experiment share the same start per repetition so
+    comparisons are paired (the paper likewise walks all algorithms from
+    common seed users).
+    """
+    rng = ensure_rng(seed)
+    nodes = dataset.graph.nodes()
+    return [int(nodes[int(rng.integers(0, len(nodes)))]) for _ in range(repetitions)]
+
+
+def error_vs_cost(
+    dataset: SocialDataset,
+    specs: Sequence[SamplerSpec],
+    attribute: str,
+    budgets: Sequence[int],
+    repetitions: int,
+    seed: RngLike = None,
+    max_samples: int = 200,
+) -> List[Series]:
+    """Relative error of an AVG aggregate at each query budget.
+
+    For every (sampler, budget, repetition): fresh API with that budget,
+    run until the budget is exhausted (or *max_samples* reached), estimate
+    the aggregate, record relative error; the series carries the mean error
+    over repetitions.  Repetitions whose budget died before the first
+    sample contribute the worst-case error 1.0 (an estimate of 0 —
+    "no information"), so easy settings are not silently favored.
+    """
+    if repetitions < 1:
+        raise ExperimentError(f"repetitions must be >= 1, got {repetitions}")
+    truth = dataset.aggregates.get(attribute)
+    if truth is None:
+        raise ExperimentError(
+            f"dataset {dataset.name!r} has no ground truth for {attribute!r}"
+        )
+    rng = ensure_rng(seed)
+    starts = pick_starts(dataset, repetitions, rng)
+    result: List[Series] = []
+    for spec in specs:
+        series = Series(label=spec.label)
+        for budget in budgets:
+            errors: List[float] = []
+            for rep in range(repetitions):
+                api = SocialNetworkAPI(dataset.graph, budget=QueryBudget(budget))
+                sampler = spec.factory()
+                batch = sampler.sample(
+                    api, starts[rep], count=max_samples, seed=rng
+                )
+                if len(batch) == 0:
+                    errors.append(1.0)
+                    continue
+                values = _attribute_values(dataset, batch.nodes, attribute)
+                estimate = average_estimate(batch, values)
+                errors.append(relative_error(estimate, truth))
+            series.add(budget, float(np.mean(errors)))
+        result.append(series)
+    return result
+
+
+def error_vs_samples(
+    dataset: SocialDataset,
+    specs: Sequence[SamplerSpec],
+    attribute: str,
+    checkpoints: Sequence[int],
+    repetitions: int,
+    seed: RngLike = None,
+) -> List[Series]:
+    """Relative error at fixed sample counts (sample-quality view).
+
+    Budget-free; each repetition collects ``max(checkpoints)`` samples and
+    prefix estimates are scored at every checkpoint.  Repetitions that fell
+    short of a checkpoint are skipped for it (can happen only via the
+    sampler's internal attempt guard).
+    """
+    if not checkpoints:
+        raise ExperimentError("need at least one checkpoint")
+    truth = dataset.aggregates.get(attribute)
+    if truth is None:
+        raise ExperimentError(
+            f"dataset {dataset.name!r} has no ground truth for {attribute!r}"
+        )
+    rng = ensure_rng(seed)
+    starts = pick_starts(dataset, repetitions, rng)
+    target = max(checkpoints)
+    result: List[Series] = []
+    for spec in specs:
+        per_checkpoint: Dict[int, List[float]] = {c: [] for c in checkpoints}
+        for rep in range(repetitions):
+            api = SocialNetworkAPI(dataset.graph)
+            sampler = spec.factory()
+            batch = sampler.sample(api, starts[rep], count=target, seed=rng)
+            if len(batch) == 0:
+                continue
+            values = _attribute_values(dataset, batch.nodes, attribute)
+            for checkpoint in checkpoints:
+                if len(batch) < checkpoint:
+                    continue
+                estimate = _prefix_estimate(batch, values, checkpoint)
+                per_checkpoint[checkpoint].append(relative_error(estimate, truth))
+        series = Series(label=spec.label)
+        for checkpoint in checkpoints:
+            observed = per_checkpoint[checkpoint]
+            if observed:
+                series.add(checkpoint, float(np.mean(observed)))
+        result.append(series)
+    return result
+
+
+def collect_samples(
+    dataset: SocialDataset,
+    spec: SamplerSpec,
+    total: int,
+    per_run: int,
+    seed: RngLike = None,
+    start: Optional[int] = None,
+) -> List[int]:
+    """Gather *total* sampled node ids across repeated runs (Figure 12).
+
+    Each run uses a fresh sampler and API from the same start node; the
+    run-level independence matches the "many short runs" scheme whose
+    sampling distribution the exact-bias experiment measures.
+    """
+    if total < 1 or per_run < 1:
+        raise ExperimentError("total and per_run must be >= 1")
+    rng = ensure_rng(seed)
+    if start is None:
+        start = pick_starts(dataset, 1, rng)[0]
+    nodes: List[int] = []
+    while len(nodes) < total:
+        api = SocialNetworkAPI(dataset.graph)
+        sampler = spec.factory()
+        batch = sampler.sample(api, start, count=per_run, seed=rng)
+        if len(batch) == 0:
+            raise EstimationError(
+                f"sampler {spec.label!r} produced no samples in a run"
+            )
+        nodes.extend(batch.nodes)
+    return nodes[:total]

@@ -1,0 +1,26 @@
+"""Paper tables.  Table 1 shares its workload with Figure 12."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure12
+from repro.experiments.runner import ExperimentResult
+from repro.rng import RngLike
+
+
+def table1(scale: str = "quick", seed: RngLike = 12) -> ExperimentResult:
+    """Exact-bias distances (ℓ∞, KL) between target and SRW/WE distributions.
+
+    Runs the Figure 12 workload and returns a result carrying only the
+    table (the PDF/CDF panels live in ``figure12``).  Sharing the run keeps
+    the two outputs consistent, exactly as in the paper.
+    """
+    full = figure12(scale=scale, seed=seed)
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Distance between theoretical sampling distribution and SRW/WE",
+        x_label="-",
+        y_label="-",
+        notes=list(full.notes),
+        tables=dict(full.tables),
+    )
+    return result

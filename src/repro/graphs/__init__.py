@@ -1,0 +1,80 @@
+"""Graph substrate: data structure, generators, properties, and I/O.
+
+The social networks the paper samples are modeled as simple undirected
+graphs (paper §2.1).  :class:`~repro.graphs.graph.Graph` is a small,
+dependency-free adjacency-set structure with deterministic iteration order —
+determinism matters because every experiment in this repository must be
+reproducible from a seed alone.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    balanced_tree_graph,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    directed_preferential_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    regular_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.properties import (
+    average_clustering,
+    average_degree,
+    connected_components,
+    degree_histogram,
+    diameter,
+    is_connected,
+    largest_connected_component,
+    local_clustering,
+    mean_shortest_path_lengths,
+    shortest_path_lengths,
+)
+from repro.graphs.convert import from_networkx, to_networkx
+from repro.graphs.io import load_edge_list, save_edge_list
+from repro.graphs.statistics import (
+    GraphSummary,
+    degree_assortativity,
+    gini_coefficient,
+    power_law_alpha,
+    summarize,
+)
+
+__all__ = [
+    "Graph",
+    "barabasi_albert_graph",
+    "balanced_tree_graph",
+    "barbell_graph",
+    "complete_graph",
+    "cycle_graph",
+    "directed_preferential_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "regular_graph",
+    "star_graph",
+    "watts_strogatz_graph",
+    "average_clustering",
+    "average_degree",
+    "connected_components",
+    "degree_histogram",
+    "diameter",
+    "is_connected",
+    "largest_connected_component",
+    "local_clustering",
+    "mean_shortest_path_lengths",
+    "shortest_path_lengths",
+    "from_networkx",
+    "to_networkx",
+    "load_edge_list",
+    "save_edge_list",
+    "GraphSummary",
+    "summarize",
+    "power_law_alpha",
+    "degree_assortativity",
+    "gini_coefficient",
+]

@@ -1,0 +1,57 @@
+"""Converters between :class:`repro.graphs.Graph` and NetworkX graphs.
+
+NetworkX is used only at the boundary (interoperability, cross-validation in
+tests); all algorithms in this library run on the native structure.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def to_networkx(graph: Graph) -> "nx.Graph":
+    """Convert to an undirected :class:`networkx.Graph` with attributes."""
+    out = nx.Graph(name=graph.name)
+    out.add_nodes_from(graph.nodes())
+    out.add_edges_from(graph.edges())
+    for attr in graph.attribute_names():
+        values = graph.attribute_values(attr)
+        nx.set_node_attributes(out, values, name=attr)
+    return out
+
+
+def from_networkx(nx_graph: "nx.Graph", name: str | None = None) -> Graph:
+    """Convert an undirected NetworkX graph (must have integer node labels).
+
+    Raises
+    ------
+    GraphError
+        If the input is directed, has a self-loop, or has non-int labels.
+    """
+    if nx_graph.is_directed():
+        raise GraphError("convert directed graphs via the mutual-edge reduction first")
+    g = Graph(name=name if name is not None else (nx_graph.name or "graph"))
+    for node in nx_graph.nodes():
+        if not isinstance(node, int):
+            raise GraphError(f"node labels must be ints, got {node!r}")
+        g.add_node(node)
+    for u, v in nx_graph.edges():
+        if u == v:
+            raise GraphError(f"self-loop on {u} not supported")
+        g.add_edge(u, v)
+    # Per-attribute dicts: only copy attributes present on every node to keep
+    # attribute_mean well-defined.
+    attr_names: set[str] = set()
+    for _, data in nx_graph.nodes(data=True):
+        attr_names.update(data)
+    for attr in sorted(attr_names):
+        values = {
+            node: data[attr]
+            for node, data in nx_graph.nodes(data=True)
+            if attr in data
+        }
+        g.set_attribute(attr, values)
+    return g

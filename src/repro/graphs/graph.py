@@ -1,0 +1,307 @@
+"""A simple undirected graph with node attributes.
+
+The class is intentionally small: adjacency sets keyed by integer node ids,
+plus named per-node attribute maps.  Two design points are load-bearing for
+the rest of the library:
+
+* **Deterministic neighbor order.**  ``neighbors()`` returns a sorted tuple
+  (cached until the node's adjacency changes).  Random walks draw from this
+  tuple with a seeded generator, so a (graph, seed) pair fully determines a
+  walk — a property the test suite and the experiment harness rely on.
+
+* **Simple graphs only.**  The paper's model (§2.1) is a simple undirected
+  graph; self-loops and parallel edges are rejected at insertion so that
+  degree always equals ``len(neighbors)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import GraphError, NodeNotFoundError
+
+Node = int
+
+
+class Graph:
+    """Simple undirected graph over hashable integer node ids.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable label used in experiment reports.
+
+    Examples
+    --------
+    >>> g = Graph(name="triangle")
+    >>> g.add_edges_from([(0, 1), (1, 2), (2, 0)])
+    >>> g.degree(1)
+    2
+    >>> sorted(g.neighbors(0))
+    [1, 2]
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._adjacency: Dict[Node, set[Node]] = {}
+        self._neighbor_cache: Dict[Node, Tuple[Node, ...]] = {}
+        self._edge_count = 0
+        self._attributes: Dict[str, Dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add *node* if absent; adding an existing node is a no-op."""
+        if node not in self._adjacency:
+            self._adjacency[node] = set()
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Add every node in *nodes*."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``(u, v)``, creating endpoints as needed.
+
+        Raises
+        ------
+        GraphError
+            If ``u == v`` (self-loops are not part of the paper's model;
+            lazy self-loop behaviour belongs to the *transition design*,
+            not the graph).
+        """
+        if u == v:
+            raise GraphError(f"self-loop ({u}, {v}) not allowed in a simple graph")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adjacency[u]:
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+            self._edge_count += 1
+            self._neighbor_cache.pop(u, None)
+            self._neighbor_cache.pop(v, None)
+
+    def add_edges_from(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Add every edge in *edges* (duplicates are ignored)."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``(u, v)``.
+
+        Raises
+        ------
+        GraphError
+            If the edge does not exist.
+        """
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) not in graph")
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._edge_count -= 1
+        self._neighbor_cache.pop(u, None)
+        self._neighbor_cache.pop(v, None)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove *node* and all incident edges.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If *node* is not in the graph.
+        """
+        if node not in self._adjacency:
+            raise NodeNotFoundError(node)
+        for neighbor in list(self._adjacency[node]):
+            self.remove_edge(node, neighbor)
+        del self._adjacency[node]
+        self._neighbor_cache.pop(node, None)
+        for values in self._attributes.values():
+            values.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> Tuple[Node, ...]:
+        """All node ids in sorted order."""
+        return tuple(sorted(self._adjacency))
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Iterate edges once each, as ``(min, max)`` pairs in sorted order."""
+        for u in sorted(self._adjacency):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, v)
+
+    def neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """Sorted tuple of *node*'s neighbors.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If *node* is not in the graph.
+        """
+        cached = self._neighbor_cache.get(node)
+        if cached is not None:
+            return cached
+        if node not in self._adjacency:
+            raise NodeNotFoundError(node)
+        ordered = tuple(sorted(self._adjacency[node]))
+        self._neighbor_cache[node] = ordered
+        return ordered
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbors of *node*."""
+        if node not in self._adjacency:
+            raise NodeNotFoundError(node)
+        return len(self._adjacency[node])
+
+    def degrees(self) -> Dict[Node, int]:
+        """Mapping of every node to its degree."""
+        return {node: len(adj) for node, adj in self._adjacency.items()}
+
+    def has_node(self, node: Node) -> bool:
+        """True if *node* is in the graph."""
+        return node in self._adjacency
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True if the undirected edge ``(u, v)`` exists."""
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def number_of_nodes(self) -> int:
+        """Node count ``|V|``."""
+        return len(self._adjacency)
+
+    def number_of_edges(self) -> int:
+        """Edge count ``|E|`` (each undirected edge counted once)."""
+        return self._edge_count
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes (0 for an empty graph)."""
+        if not self._adjacency:
+            return 0
+        return max(len(adj) for adj in self._adjacency.values())
+
+    def min_degree(self) -> int:
+        """Minimum degree over all nodes (0 for an empty graph)."""
+        if not self._adjacency:
+            return 0
+        return min(len(adj) for adj in self._adjacency.values())
+
+    # ------------------------------------------------------------------
+    # Node attributes
+    # ------------------------------------------------------------------
+    def set_attribute(self, name: str, values: Dict[Node, float]) -> None:
+        """Attach attribute *name* with per-node *values*.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If any key of *values* is not a node of the graph.
+        """
+        for node in values:
+            if node not in self._adjacency:
+                raise NodeNotFoundError(node)
+        self._attributes[name] = dict(values)
+
+    def get_attribute(self, name: str, node: Node) -> float:
+        """Value of attribute *name* at *node*.
+
+        Raises
+        ------
+        GraphError
+            If the attribute is not defined.
+        NodeNotFoundError
+            If the node exists but carries no value for the attribute.
+        """
+        if name not in self._attributes:
+            raise GraphError(f"attribute {name!r} is not defined on {self.name!r}")
+        values = self._attributes[name]
+        if node not in values:
+            raise NodeNotFoundError(node)
+        return values[node]
+
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Names of all defined attributes, sorted."""
+        return tuple(sorted(self._attributes))
+
+    def attribute_values(self, name: str) -> Dict[Node, float]:
+        """Copy of the full value map for attribute *name*."""
+        if name not in self._attributes:
+            raise GraphError(f"attribute {name!r} is not defined on {self.name!r}")
+        return dict(self._attributes[name])
+
+    def attribute_mean(self, name: str) -> float:
+        """Exact population mean of attribute *name* over all nodes.
+
+        This is the ground truth against which sampled AVG estimates are
+        scored (the paper's relative-error measure, §2.4).
+        """
+        values = self.attribute_values(name)
+        if len(values) != self.number_of_nodes():
+            raise GraphError(
+                f"attribute {name!r} is defined on {len(values)} of "
+                f"{self.number_of_nodes()} nodes; mean would be misleading"
+            )
+        return float(sum(values.values())) / len(values)
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )
+
+    def copy(self, name: Optional[str] = None) -> "Graph":
+        """Deep copy of structure and attributes."""
+        clone = Graph(name=name if name is not None else self.name)
+        clone.add_nodes_from(self._adjacency)
+        for u, adj in self._adjacency.items():
+            for v in adj:
+                if u < v:
+                    clone.add_edge(u, v)
+        for attr, values in self._attributes.items():
+            clone.set_attribute(attr, values)
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node], name: Optional[str] = None) -> "Graph":
+        """Induced subgraph on *nodes* (attributes restricted accordingly)."""
+        keep = set(nodes)
+        for node in keep:
+            if node not in self._adjacency:
+                raise NodeNotFoundError(node)
+        sub = Graph(name=name if name is not None else f"{self.name}-sub")
+        sub.add_nodes_from(keep)
+        for u in keep:
+            for v in self._adjacency[u]:
+                if v in keep and u < v:
+                    sub.add_edge(u, v)
+        for attr, values in self._attributes.items():
+            restricted = {n: x for n, x in values.items() if n in keep}
+            if restricted:
+                sub.set_attribute(attr, restricted)
+        return sub
+
+    def relabeled(self, name: Optional[str] = None) -> "Graph":
+        """Copy with nodes relabeled to ``0..n-1`` in sorted-id order.
+
+        The dense Markov machinery indexes matrices by node id, so
+        experiments normalize graphs through this method first.
+        """
+        mapping = {node: index for index, node in enumerate(self.nodes())}
+        out = Graph(name=name if name is not None else self.name)
+        out.add_nodes_from(mapping.values())
+        for u, v in self.edges():
+            out.add_edge(mapping[u], mapping[v])
+        for attr, values in self._attributes.items():
+            out.set_attribute(attr, {mapping[n]: x for n, x in values.items()})
+        return out

@@ -1,0 +1,42 @@
+"""Dense Markov-chain machinery for oracle computations.
+
+Everything here assumes full knowledge of the graph — the opposite of the
+sampling setting — and exists to (a) power IDEAL-WALK and the Theorem 1 /
+case-study analysis, (b) compute exact sampling distributions and burn-in
+lengths for the bias experiments (Figure 12, Table 1), and (c) cross-check
+the online estimators in tests.
+"""
+
+from repro.markov.matrix import TransitionMatrix
+from repro.markov.distributions import (
+    kl_divergence,
+    l_infinity_distance,
+    step_distribution,
+    step_distributions,
+    total_variation_distance,
+)
+from repro.markov.mixing import (
+    burn_in_length,
+    relative_pointwise_distance,
+    spectral_gap,
+)
+from repro.markov.hitting import (
+    expected_hitting_times,
+    expected_return_time,
+    mean_hitting_time_to_ball,
+)
+
+__all__ = [
+    "TransitionMatrix",
+    "step_distribution",
+    "step_distributions",
+    "l_infinity_distance",
+    "total_variation_distance",
+    "kl_divergence",
+    "relative_pointwise_distance",
+    "burn_in_length",
+    "spectral_gap",
+    "expected_hitting_times",
+    "expected_return_time",
+    "mean_hitting_time_to_ball",
+]

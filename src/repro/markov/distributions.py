@@ -1,0 +1,85 @@
+"""Probability-vector utilities and distances between distributions.
+
+The paper measures sample bias as a distance between the achieved sampling
+distribution and the target (§2.4): ℓ∞ for theory, and ℓ∞ + KL divergence
+for the exact-bias experiment (Table 1).  Total variation is included
+because much of the mixing-time literature the paper cites states bounds in
+TV terms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.markov.matrix import TransitionMatrix
+
+_EPSILON = 1e-300
+
+
+def _as_distribution(vector: np.ndarray, name: str) -> np.ndarray:
+    array = np.asarray(vector, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be a 1-D vector, got shape {array.shape}")
+    if np.any(array < -1e-12):
+        raise ValueError(f"{name} has negative entries")
+    total = array.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"{name} sums to {total!r}, expected 1")
+    return np.clip(array, 0.0, None)
+
+
+def step_distribution(matrix: TransitionMatrix, start: int, t: int) -> np.ndarray:
+    """Exact ``p_t`` for a walk from *start* (delegates to the matrix)."""
+    return matrix.step_distribution(start, t)
+
+
+def step_distributions(
+    matrix: TransitionMatrix, start: int, max_t: int
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(t, p_t)`` for ``t = 0..max_t`` with one matrix-vector product per step."""
+    if max_t < 0:
+        raise ValueError(f"max_t must be >= 0, got {max_t}")
+    current = np.zeros(matrix.size)
+    current[start] = 1.0
+    yield 0, current.copy()
+    for t in range(1, max_t + 1):
+        current = current @ matrix.matrix
+        yield t, current.copy()
+
+
+def l_infinity_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """``max_v |p(v) - q(v)|`` — the paper's variation-distance measure."""
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return float(np.max(np.abs(p - q)))
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """``(1/2) Σ_v |p(v) - q(v)|``."""
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return float(0.5 * np.sum(np.abs(p - q)))
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """``KL(p || q) = Σ_v p(v) log(p(v)/q(v))`` in nats.
+
+    Zero-mass states of *p* contribute nothing; *q* is floored at a tiny
+    epsilon so empirical distributions with unvisited nodes yield a large
+    finite divergence instead of ``inf`` (matching how Table 1's numbers
+    can be computed from finite sampling runs).
+    """
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    support = p > 0
+    return float(
+        np.sum(p[support] * (np.log(p[support]) - np.log(np.maximum(q[support], _EPSILON))))
+    )

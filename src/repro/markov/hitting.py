@@ -1,0 +1,148 @@
+"""Hitting times: how long until a walk reaches a target set.
+
+Two uses inside this project:
+
+* **Backward-walk feasibility.**  A backward estimation run succeeds when
+  it reaches the start's crawled zone; the expected hitting time of that
+  zone (from a candidate node) is exactly the quantity that explodes on
+  long-diameter graphs — the §6.2 limitation quantified (Figure 5's
+  mechanism).
+* **Burn-in intuition.**  Expected return/hitting times relate to mixing
+  through standard identities (e.g. π(v)·E[return to v] = 1), giving the
+  test suite independent cross-checks of the stationary machinery.
+
+All solvers are dense linear-algebra over the oracle transition matrix —
+small-graph analysis tools, like the rest of :mod:`repro.markov`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.markov.matrix import TransitionMatrix
+
+
+def expected_hitting_times(
+    matrix: TransitionMatrix, targets: Iterable[int]
+) -> np.ndarray:
+    """E[steps until the walk first enters *targets*], for every start.
+
+    Solves ``(I - Q) h = 1`` where ``Q`` is the transition matrix
+    restricted to non-target states; target states get 0.  States that
+    cannot reach the target set yield ``inf``.
+
+    Raises
+    ------
+    GraphError
+        If *targets* is empty or contains unknown states.
+    """
+    target_set = set(targets)
+    n = matrix.size
+    if not target_set:
+        raise GraphError("need at least one target state")
+    for t in target_set:
+        if not 0 <= t < n:
+            raise GraphError(f"target state {t} out of range 0..{n - 1}")
+    others = [v for v in range(n) if v not in target_set]
+    result = np.zeros(n)
+    if not others:
+        return result
+    index = {state: i for i, state in enumerate(others)}
+    q = np.zeros((len(others), len(others)))
+    for i, state in enumerate(others):
+        for successor, probability in enumerate(matrix.matrix[state]):
+            if probability > 0 and successor in index:
+                q[i, index[successor]] = probability
+    system = np.eye(len(others)) - q
+    try:
+        h = np.linalg.solve(system, np.ones(len(others)))
+    except np.linalg.LinAlgError:
+        # Singular: some states never reach the targets.
+        h = np.full(len(others), np.inf)
+        # Identify reachable states by iterating expectations to a fixpoint
+        # on the reachable sub-block.
+        reachable = _states_reaching(matrix, target_set)
+        reachable_others = [s for s in others if s in reachable]
+        if reachable_others:
+            sub_index = {s: i for i, s in enumerate(reachable_others)}
+            q_sub = np.zeros((len(reachable_others), len(reachable_others)))
+            for i, state in enumerate(reachable_others):
+                for successor, probability in enumerate(matrix.matrix[state]):
+                    if probability > 0 and successor in sub_index:
+                        q_sub[i, sub_index[successor]] = probability
+            h_sub = np.linalg.solve(
+                np.eye(len(reachable_others)) - q_sub,
+                np.ones(len(reachable_others)),
+            )
+            for state, value in zip(reachable_others, h_sub):
+                h[index[state]] = value
+    for state, i in index.items():
+        result[state] = h[i]
+    return result
+
+
+def _states_reaching(matrix: TransitionMatrix, targets: set[int]) -> set[int]:
+    """States with a positive-probability path into *targets*."""
+    reaching = set(targets)
+    changed = True
+    while changed:
+        changed = False
+        for state in range(matrix.size):
+            if state in reaching:
+                continue
+            row = matrix.matrix[state]
+            if any(row[s] > 0 for s in reaching):
+                reaching.add(state)
+                changed = True
+    return reaching
+
+
+def expected_return_time(matrix: TransitionMatrix, state: int) -> float:
+    """E[steps for a walk started at *state* to come back to it].
+
+    Computed via Kac's formula ``E[return] = 1/π(state)`` — exact for
+    irreducible chains and the cheapest cross-check of the stationary
+    distribution.
+    """
+    if not 0 <= state < matrix.size:
+        raise GraphError(f"state {state} out of range 0..{matrix.size - 1}")
+    pi = matrix.stationary_distribution()
+    if pi[state] <= 0:
+        return float("inf")
+    return float(1.0 / pi[state])
+
+
+def mean_hitting_time_to_ball(
+    matrix: TransitionMatrix,
+    center: int,
+    hops: int,
+    starts: Sequence[int] | None = None,
+) -> float:
+    """Average hitting time of the *hops*-hop ball around *center*.
+
+    This is the backward-walk feasibility number: a backward estimation
+    from a typical node terminates when it reaches the initial crawl's
+    zone, and its expected effort is the stationary-weighted mean hitting
+    time of that ball.  On small-diameter graphs it is a few steps; on
+    long cycles it grows with the diameter squared (the §6.2 limitation).
+    """
+    from repro.graphs.properties import k_hop_neighborhood
+
+    ball = set(k_hop_neighborhood(matrix.graph, center, hops))
+    times = expected_hitting_times(matrix, ball)
+    pi = matrix.stationary_distribution()
+    if starts is None:
+        weights = pi
+        values = times
+    else:
+        weights = np.array([pi[s] for s in starts])
+        values = np.array([times[s] for s in starts])
+        total = weights.sum()
+        if total <= 0:
+            raise GraphError("start set has zero stationary mass")
+        weights = weights / total
+        return float(np.dot(weights, values))
+    return float(np.dot(weights, values))

@@ -1,0 +1,149 @@
+"""Dense transition matrices for a (graph, transition design) pair.
+
+Node ids must be ``0..n-1`` (use :meth:`repro.graphs.Graph.relabeled`);
+row/column *i* of the matrix then corresponds to node *i*, which keeps the
+mapping between linear algebra and graph language trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.walks.transitions import TransitionDesign
+
+_ROW_SUM_TOLERANCE = 1e-9
+
+
+class TransitionMatrix:
+    """Row-stochastic matrix ``T`` with ``T[u, v] = Pr{next = v | now = u}``.
+
+    Parameters
+    ----------
+    graph:
+        Graph with contiguous node ids ``0..n-1``.
+    design:
+        The transit design whose matrix to build.
+
+    Raises
+    ------
+    GraphError
+        If node ids are not contiguous or any row fails to sum to 1.
+    """
+
+    def __init__(self, graph: Graph, design: TransitionDesign) -> None:
+        nodes = graph.nodes()
+        n = len(nodes)
+        if n == 0:
+            raise GraphError("cannot build a transition matrix for an empty graph")
+        if nodes != tuple(range(n)):
+            raise GraphError(
+                "node ids must be 0..n-1; call graph.relabeled() first"
+            )
+        matrix = np.zeros((n, n), dtype=float)
+        for u in range(n):
+            row = design.transition_row(graph, u)
+            for v, p in row.items():
+                matrix[u, v] = p
+            row_sum = matrix[u].sum()
+            if abs(row_sum - 1.0) > _ROW_SUM_TOLERANCE:
+                raise GraphError(
+                    f"transition row of node {u} sums to {row_sum!r}, expected 1"
+                )
+        self.graph = graph
+        self.design = design
+        self.matrix = matrix
+        self._power_cache: Dict[int, np.ndarray] = {1: matrix}
+
+    @property
+    def size(self) -> int:
+        """Number of states (nodes)."""
+        return self.matrix.shape[0]
+
+    def power(self, t: int) -> np.ndarray:
+        """``T**t`` with memoized exponentiation-by-squaring.
+
+        ``t = 0`` returns the identity.  Powers are cached because the
+        IDEAL-WALK sweeps evaluate many consecutive ``t`` on one matrix.
+        """
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        if t == 0:
+            return np.eye(self.size)
+        cached = self._power_cache.get(t)
+        if cached is not None:
+            return cached
+        half = self.power(t // 2)
+        result = half @ half
+        if t % 2 == 1:
+            result = result @ self.matrix
+        self._power_cache[t] = result
+        return result
+
+    def step_distribution(self, start: int, t: int) -> np.ndarray:
+        """Exact ``p_t``: distribution of the walk position after *t* steps.
+
+        This is the oracle version of the quantity WALK-ESTIMATE estimates
+        online (the probability ``p_t(v)`` of paper §1.2).
+        """
+        if not 0 <= start < self.size:
+            raise GraphError(f"start node {start} out of range 0..{self.size - 1}")
+        initial = np.zeros(self.size)
+        initial[start] = 1.0
+        if t == 0:
+            return initial
+        return initial @ self.power(t)
+
+    def evolve(self, distribution: np.ndarray, steps: int = 1) -> np.ndarray:
+        """Advance an arbitrary start distribution *steps* steps."""
+        result = np.asarray(distribution, dtype=float)
+        if result.shape != (self.size,):
+            raise ValueError(
+                f"distribution shape {result.shape} != ({self.size},)"
+            )
+        for _ in range(steps):
+            result = result @ self.matrix
+        return result
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary π solving πT = π, Σπ = 1.
+
+        Computed from the design's target weights when available (exact and
+        cheap), falling back to the dominant left eigenvector otherwise.
+        """
+        weights = np.array(
+            [self.design.target_weight(self.graph, v) for v in range(self.size)],
+            dtype=float,
+        )
+        total = weights.sum()
+        if total > 0:
+            candidate = weights / total
+            # Trust, but verify: the design's claimed target must be invariant.
+            if np.allclose(candidate @ self.matrix, candidate, atol=1e-8):
+                return candidate
+        return self._eigen_stationary()
+
+    def _eigen_stationary(self) -> np.ndarray:
+        eigenvalues, eigenvectors = np.linalg.eig(self.matrix.T)
+        index = int(np.argmin(np.abs(eigenvalues - 1.0)))
+        vector = np.real(eigenvectors[:, index])
+        vector = np.abs(vector)
+        total = vector.sum()
+        if total <= 0:
+            raise GraphError("failed to extract a stationary distribution")
+        return vector / total
+
+    def second_largest_eigenvalue_modulus(self) -> float:
+        """|λ₂|: modulus of the second-largest eigenvalue of T."""
+        eigenvalues = np.linalg.eigvals(self.matrix)
+        moduli = np.sort(np.abs(eigenvalues))[::-1]
+        if len(moduli) < 2:
+            return 0.0
+        return float(moduli[1])
+
+    def spectral_gap(self) -> float:
+        """``λ = 1 - |λ₂|`` (paper §2.2.3); controls mixing speed."""
+        return 1.0 - self.second_largest_eigenvalue_modulus()

@@ -1,0 +1,91 @@
+"""Mixing diagnostics: relative point-wise distance, burn-in, spectral gap.
+
+These implement the *definitional* quantities of paper §2.2.3 exactly, by
+dense linear algebra.  They quantify how long the traditional random walks
+must "wait" — the cost WALK-ESTIMATE avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.markov.matrix import TransitionMatrix
+
+
+def relative_pointwise_distance(matrix: TransitionMatrix, t: int) -> float:
+    """Paper Definition 3: ``Δ(t) = max_{u; v ∈ N(u)} |T^t_{uv} - π(v)| / π(v)``.
+
+    Following the definition verbatim, the maximum ranges over ordered pairs
+    ``(u, v)`` with ``v`` a neighbor of ``u``.
+    """
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    stationary = matrix.stationary_distribution()
+    powered = matrix.power(t)
+    worst = 0.0
+    for u in range(matrix.size):
+        for v in matrix.graph.neighbors(u):
+            pi_v = stationary[v]
+            if pi_v <= 0:
+                raise ConvergenceError(
+                    f"stationary probability of node {v} is zero; Δ(t) undefined"
+                )
+            worst = max(worst, abs(powered[u, v] - pi_v) / pi_v)
+    return float(worst)
+
+
+def burn_in_length(
+    matrix: TransitionMatrix,
+    epsilon: float,
+    max_steps: int = 100_000,
+    measure: str = "relative",
+    start: int | None = None,
+) -> int:
+    """Minimum ``t`` with distance(t) <= epsilon — the burn-in period.
+
+    Parameters
+    ----------
+    measure:
+        ``"relative"`` uses the paper's relative point-wise distance over
+        all starts; ``"linf"`` uses the ℓ∞ distance of ``p_t`` from π for
+        the given *start* (or the worst start when *start* is None).
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if measure not in ("relative", "linf"):
+        raise ValueError(f"unknown measure {measure!r}")
+    stationary = matrix.stationary_distribution()
+    for t in range(1, max_steps + 1):
+        if measure == "relative":
+            distance = relative_pointwise_distance(matrix, t)
+        else:
+            powered = matrix.power(t)
+            if start is None:
+                distance = float(np.max(np.abs(powered - stationary[None, :])))
+            else:
+                distance = float(np.max(np.abs(powered[start] - stationary)))
+        if distance <= epsilon:
+            return t
+    raise ConvergenceError(
+        f"walk did not mix to {measure} distance {epsilon} within {max_steps} steps"
+    )
+
+
+def spectral_gap(matrix: TransitionMatrix) -> float:
+    """``λ = 1 - |λ₂|`` of the transition matrix (paper §2.2.3)."""
+    return matrix.spectral_gap()
+
+
+def linf_mixing_bound(spectral_gap_value: float, start_degree: int, t: int) -> float:
+    """The mixing bound the paper leans on: ``|p_t(u) - π(u)| ≤ (1-λ)^t · d(v₀)``.
+
+    (Paper Eq. 9, tight in the worst case.)  Used by Theorem 1's cost model.
+    """
+    if not 0.0 <= spectral_gap_value <= 1.0:
+        raise ValueError(f"spectral gap must be in [0, 1], got {spectral_gap_value}")
+    if start_degree < 0:
+        raise ValueError(f"degree must be >= 0, got {start_degree}")
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    return (1.0 - spectral_gap_value) ** t * start_degree

@@ -1,0 +1,41 @@
+"""Simulated online-social-network access interface.
+
+The paper's setting (§2.1): a third party can only issue *local neighborhood
+queries* — give the OSN a user id, get back that user's neighbor list — and
+every query counts against a rate-limited budget.  This package simulates
+that interface over a hidden :class:`~repro.graphs.Graph`:
+
+* :class:`SocialNetworkAPI` — neighbor/attribute queries with accounting;
+* :class:`QueryBudget` / :class:`QueryCounter` — the cost model (§2.4:
+  "query cost = number of nodes accessed"; unique nodes by default);
+* neighbor-access **restrictions** of the three types of §6.3.1;
+* a token-bucket **rate limiter** on a virtual clock (Twitter's
+  15-requests-per-15-minutes example from §1.1).
+"""
+
+from repro.osn.accounting import QueryBudget, QueryCounter, QueryLog
+from repro.osn.api import SocialNetworkAPI
+from repro.osn.ratelimit import TokenBucketRateLimiter, VirtualClock
+from repro.osn.restrictions import (
+    FixedRandomKRestriction,
+    NeighborRestriction,
+    RandomKRestriction,
+    TruncatedKRestriction,
+    mark_recapture_degree,
+    mutual_neighbors,
+)
+
+__all__ = [
+    "SocialNetworkAPI",
+    "QueryBudget",
+    "QueryCounter",
+    "QueryLog",
+    "NeighborRestriction",
+    "RandomKRestriction",
+    "FixedRandomKRestriction",
+    "TruncatedKRestriction",
+    "mutual_neighbors",
+    "mark_recapture_degree",
+    "TokenBucketRateLimiter",
+    "VirtualClock",
+]

@@ -1,0 +1,115 @@
+"""Query accounting: counters, budgets, and logs.
+
+The paper's efficiency measure is *query cost* — "the number of nodes it has
+to access in order to obtain a predetermined number of samples" (§2.4).
+Re-querying a node a crawler has already seen is free in this model (the
+response can be cached locally), so :class:`QueryCounter` counts **unique**
+nodes by default while still tracking raw calls for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import QueryBudgetExceededError
+
+
+@dataclass
+class QueryLog:
+    """Append-only record of issued queries (node id per call)."""
+
+    entries: List[int] = field(default_factory=list)
+    enabled: bool = False
+
+    def record(self, node: int) -> None:
+        """Append *node* if logging is enabled."""
+        if self.enabled:
+            self.entries.append(node)
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.entries.clear()
+
+
+class QueryCounter:
+    """Counts unique-node accesses and raw API calls."""
+
+    def __init__(self) -> None:
+        self._seen: set[int] = set()
+        self._raw_calls = 0
+
+    @property
+    def unique_nodes(self) -> int:
+        """Number of distinct nodes accessed — the paper's query cost."""
+        return len(self._seen)
+
+    @property
+    def raw_calls(self) -> int:
+        """Total API invocations including repeats."""
+        return self._raw_calls
+
+    def seen(self, node: int) -> bool:
+        """True if *node* was already accessed (its result is cached)."""
+        return node in self._seen
+
+    def charge(self, node: int) -> bool:
+        """Record an access to *node*; returns True if it was a new node."""
+        self._raw_calls += 1
+        if node in self._seen:
+            return False
+        self._seen.add(node)
+        return True
+
+    def snapshot(self) -> "QueryCounterSnapshot":
+        """Immutable view of the current counts (cheap, for deltas)."""
+        return QueryCounterSnapshot(self.unique_nodes, self._raw_calls)
+
+    def reset(self) -> None:
+        """Forget everything (new measurement epoch)."""
+        self._seen.clear()
+        self._raw_calls = 0
+
+
+@dataclass(frozen=True)
+class QueryCounterSnapshot:
+    """Point-in-time counter values, used to compute per-phase costs."""
+
+    unique_nodes: int
+    raw_calls: int
+
+    def cost_since(self, later: "QueryCounterSnapshot") -> int:
+        """Unique-node cost accrued between this snapshot and *later*."""
+        return later.unique_nodes - self.unique_nodes
+
+
+class QueryBudget:
+    """A hard cap on unique-node query cost.
+
+    ``None`` means unlimited.  The API consults :meth:`check` *before*
+    executing a charging query so a run never silently overshoots.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"budget limit must be >= 0, got {limit}")
+        self.limit = limit
+
+    def check(self, counter: QueryCounter, node: int) -> None:
+        """Raise if charging *node* would exceed the budget.
+
+        Cached (already-seen) nodes never raise: they cost nothing.
+        """
+        if self.limit is None or counter.seen(node):
+            return
+        if counter.unique_nodes + 1 > self.limit:
+            raise QueryBudgetExceededError(self.limit, counter.unique_nodes)
+
+    def remaining(self, counter: QueryCounter) -> Optional[int]:
+        """Unique-node queries left, or None when unlimited."""
+        if self.limit is None:
+            return None
+        return max(0, self.limit - counter.unique_nodes)
+
+    def __repr__(self) -> str:
+        return f"QueryBudget(limit={self.limit})"

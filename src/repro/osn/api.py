@@ -1,0 +1,154 @@
+"""The restricted OSN web interface: local-neighborhood queries only.
+
+:class:`SocialNetworkAPI` wraps a hidden :class:`~repro.graphs.Graph` and
+exposes exactly what the paper's third party sees (§2.1):
+
+* ``neighbors(v)`` — the neighbor list of ``v`` (possibly restricted);
+* ``degree(v)`` — ``len(neighbors(v))`` under the same restriction;
+* ``attribute(v, name)`` — node-profile attributes (star ratings,
+  self-description length, …), charged like a neighbor query since both
+  come from the same profile fetch.
+
+Every access to a *new* node costs one query against the counter/budget
+(§2.4's cost model); results are cached client-side, so repeat accesses are
+free — except under the type-1 restriction (fresh random neighbor subset
+per call, §6.3.1), where each ``neighbors`` call re-invokes the API.
+
+The API satisfies the :class:`~repro.walks.transitions.NeighborView`
+protocol, so transition designs and backward estimators run against it
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.graph import Graph, Node
+from repro.osn.accounting import QueryBudget, QueryCounter, QueryLog
+from repro.osn.ratelimit import TokenBucketRateLimiter
+from repro.osn.restrictions import NeighborRestriction, RandomKRestriction
+
+
+class SocialNetworkAPI:
+    """Query interface over a hidden graph with cost accounting.
+
+    Parameters
+    ----------
+    graph:
+        The hidden social graph.  Samplers must only touch it through this
+        API; experiments may read it directly to compute ground truth.
+    budget:
+        Optional hard cap on unique-node queries.
+    restriction:
+        Optional neighbor-access restriction (paper §6.3.1 types 1–3).
+    rate_limiter:
+        Optional token bucket; when present, each API invocation consumes a
+        token, waiting on the virtual clock as needed.
+    log_queries:
+        Record every API invocation's node id (diagnostics; off by default).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        budget: Optional[QueryBudget] = None,
+        restriction: Optional[NeighborRestriction] = None,
+        rate_limiter: Optional[TokenBucketRateLimiter] = None,
+        log_queries: bool = False,
+    ) -> None:
+        self._graph = graph
+        self.budget = budget if budget is not None else QueryBudget(None)
+        self.restriction = restriction
+        self.rate_limiter = rate_limiter
+        self.counter = QueryCounter()
+        self.log = QueryLog(enabled=log_queries)
+        self._neighbor_cache: dict[Node, Tuple[Node, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Charged queries
+    # ------------------------------------------------------------------
+    def neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """Visible neighbors of *node* (charged on first access).
+
+        Raises
+        ------
+        NodeNotFoundError
+            If *node* does not exist on the network.
+        QueryBudgetExceededError
+            If this access would exceed the query budget.
+        """
+        cached = self._neighbor_cache.get(node)
+        if cached is not None:
+            return cached
+        visible = self._invoke(node)
+        if not isinstance(self.restriction, RandomKRestriction):
+            # Type-1 responses change per call and must not be cached;
+            # everything else is stable and cacheable client-side.
+            self._neighbor_cache[node] = visible
+        return visible
+
+    def degree(self, node: Node) -> int:
+        """Visible degree: size of the (restricted) neighbor list."""
+        return len(self.neighbors(node))
+
+    def attribute(self, node: Node, name: str) -> float:
+        """Profile attribute of *node*; charged like a neighbor query.
+
+        A node whose profile was already fetched (by ``neighbors`` or a
+        previous ``attribute`` call) is served from cache at no cost.
+        """
+        if not self._graph.has_node(node):
+            raise NodeNotFoundError(node)
+        if not self.counter.seen(node):
+            self.budget.check(self.counter, node)
+            if self.rate_limiter is not None:
+                self.rate_limiter.acquire_or_wait()
+            self.counter.charge(node)
+            self.log.record(node)
+        return self._graph.get_attribute(name, node)
+
+    def _invoke(self, node: Node) -> Tuple[Node, ...]:
+        """One real API invocation: validate, rate-limit, charge, restrict."""
+        if not self._graph.has_node(node):
+            raise NodeNotFoundError(node)
+        self.budget.check(self.counter, node)
+        if self.rate_limiter is not None:
+            self.rate_limiter.acquire_or_wait()
+        self.counter.charge(node)
+        self.log.record(node)
+        true_neighbors = self._graph.neighbors(node)
+        if self.restriction is not None:
+            return self.restriction.apply(node, true_neighbors)
+        return true_neighbors
+
+    # ------------------------------------------------------------------
+    # Free metadata
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        """Existence check (id validity is free: a failed fetch costs nothing)."""
+        return self._graph.has_node(node)
+
+    @property
+    def query_cost(self) -> int:
+        """Unique-node query cost so far (the paper's measure)."""
+        return self.counter.unique_nodes
+
+    @property
+    def raw_calls(self) -> int:
+        """Number of real API invocations (cache hits excluded)."""
+        return self.counter.raw_calls
+
+    def reset_accounting(self) -> None:
+        """Zero the counters and cache (new measurement epoch)."""
+        self.counter.reset()
+        self.log.clear()
+        self._neighbor_cache.clear()
+        if self.restriction is not None:
+            self.restriction.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"SocialNetworkAPI(graph={self._graph.name!r}, "
+            f"cost={self.query_cost}, raw={self.raw_calls})"
+        )

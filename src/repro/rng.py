@@ -1,0 +1,66 @@
+"""Random-number-generation helpers.
+
+All stochastic components of the library accept either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy), and
+normalize it through :func:`ensure_rng`.  Experiments derive independent
+child generators with :func:`spawn` so that adding a new consumer of
+randomness does not perturb the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` draws fresh OS entropy, an ``int`` produces a deterministic
+    generator, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive *count* statistically independent child generators from *rng*."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def choice_weighted(
+    rng: np.random.Generator,
+    items: list,
+    weights: Optional[list[float]] = None,
+):
+    """Pick one element of *items*, optionally according to *weights*.
+
+    Weights need not be normalized; they must be non-negative with a
+    positive sum.  This is a thin wrapper that keeps call sites readable and
+    validates inputs eagerly, which matters because transition bugs would
+    otherwise surface as silent sampling bias.
+    """
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    if weights is None:
+        index = int(rng.integers(0, len(items)))
+        return items[index]
+    if len(weights) != len(items):
+        raise ValueError(
+            f"weights length {len(weights)} does not match items length {len(items)}"
+        )
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ValueError("weights must have a positive sum")
+    probabilities = np.asarray(weights, dtype=float) / total
+    if np.any(probabilities < 0.0):
+        raise ValueError("weights must be non-negative")
+    index = int(rng.choice(len(items), p=probabilities))
+    return items[index]

@@ -1,0 +1,25 @@
+"""Analytic results: Theorem 1's closed forms and the §4.2 case studies."""
+
+from repro.theory.theorem1 import (
+    cost_model,
+    cost_ratio_bound,
+    input_walk_cost_bound,
+    optimal_walk_length_closed_form,
+)
+from repro.theory.case_studies import (
+    CASE_STUDY_MODELS,
+    build_case_study_graph,
+    cost_curve,
+    savings_curve,
+)
+
+__all__ = [
+    "cost_model",
+    "optimal_walk_length_closed_form",
+    "input_walk_cost_bound",
+    "cost_ratio_bound",
+    "CASE_STUDY_MODELS",
+    "build_case_study_graph",
+    "cost_curve",
+    "savings_curve",
+]

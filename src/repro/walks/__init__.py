@@ -1,0 +1,52 @@
+"""Random walks over the restricted OSN interface.
+
+Implements the paper's two baseline samplers — Simple Random Walk (SRW) and
+Metropolis–Hastings Random Walk (MHRW), §2.2 — their two usage schemes
+("many short runs" and "one long run", §6.1), and the Geweke convergence
+monitor (§2.2.3) used to decide burn-in on the fly.
+"""
+
+from repro.walks.transitions import (
+    BidirectionalWalk,
+    LazyWalk,
+    MaxDegreeWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+    TransitionDesign,
+)
+from repro.walks.walker import WalkResult, run_walk
+from repro.walks.samplers import BurnInSampler, LongRunSampler, SampleBatch
+from repro.walks.baselines import BFSSampler, DFSSampler, SnowballSampler
+from repro.walks.convergence import GewekeMonitor
+from repro.walks.frontier import FrontierSampler
+from repro.walks.gelman_rubin import GelmanRubinMonitor, ParallelBurnInSampler
+from repro.walks.raftery_lewis import RafteryLewisResult, raftery_lewis
+from repro.walks.nonbacktracking import NonBacktrackingSampler, run_nbrw_walk
+from repro.walks.autocorr import autocorrelation, effective_sample_size
+
+__all__ = [
+    "TransitionDesign",
+    "SimpleRandomWalk",
+    "MetropolisHastingsWalk",
+    "LazyWalk",
+    "MaxDegreeWalk",
+    "BidirectionalWalk",
+    "run_walk",
+    "WalkResult",
+    "BurnInSampler",
+    "LongRunSampler",
+    "SampleBatch",
+    "BFSSampler",
+    "DFSSampler",
+    "SnowballSampler",
+    "FrontierSampler",
+    "GewekeMonitor",
+    "GelmanRubinMonitor",
+    "ParallelBurnInSampler",
+    "raftery_lewis",
+    "RafteryLewisResult",
+    "NonBacktrackingSampler",
+    "run_nbrw_walk",
+    "autocorrelation",
+    "effective_sample_size",
+]

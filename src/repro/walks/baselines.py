@@ -1,0 +1,143 @@
+"""Crawling baselines: BFS, DFS, and snowball sampling.
+
+The graph-sampling literature the paper builds on (§8, e.g. Leskovec &
+Faloutsos [25]) repeatedly finds random-walk methods superior to crawl-order
+baselines, whose samples are confined to the start's neighborhood and
+heavily biased toward high-degree nodes.  These samplers exist so the claim
+is testable here: they plug into the same harness as every other sampler
+(``sample(api, start, count, seed)`` → :class:`SampleBatch`).
+
+None of them produces samples from a known target distribution, so their
+batches carry uniform target weights and the aggregate estimator treats
+them as (wrongly) uniform — reproducing how naive crawls are typically
+(ab)used in practice.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.errors import ConfigurationError, QueryBudgetExceededError
+from repro.osn.api import SocialNetworkAPI
+from repro.rng import RngLike, ensure_rng
+from repro.walks.samplers import SampleBatch
+from repro.walks.transitions import Node
+
+
+class BFSSampler:
+    """Breadth-first crawl: take the first *count* nodes discovered."""
+
+    name = "bfs"
+
+    def sample(
+        self,
+        api: SocialNetworkAPI,
+        start: Node,
+        count: int,
+        seed: RngLike = None,
+    ) -> SampleBatch:
+        """Collect the first *count* BFS-discovered nodes from *start*."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        batch = SampleBatch(sampler=self.name)
+        visited = {start}
+        queue = deque([start])
+        try:
+            while queue and len(batch.nodes) < count:
+                current = queue.popleft()
+                batch.nodes.append(current)
+                batch.target_weights.append(1.0)
+                for neighbor in api.neighbors(current):
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        queue.append(neighbor)
+        except QueryBudgetExceededError:
+            pass
+        batch.query_cost = api.query_cost
+        return batch
+
+
+class DFSSampler:
+    """Depth-first crawl: take the first *count* nodes visited."""
+
+    name = "dfs"
+
+    def sample(
+        self,
+        api: SocialNetworkAPI,
+        start: Node,
+        count: int,
+        seed: RngLike = None,
+    ) -> SampleBatch:
+        """Collect the first *count* DFS-visited nodes from *start*."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        batch = SampleBatch(sampler=self.name)
+        visited = {start}
+        stack: List[Node] = [start]
+        try:
+            while stack and len(batch.nodes) < count:
+                current = stack.pop()
+                batch.nodes.append(current)
+                batch.target_weights.append(1.0)
+                # Reversed so the smallest-id neighbor is explored first,
+                # keeping DFS order deterministic.
+                for neighbor in reversed(api.neighbors(current)):
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        stack.append(neighbor)
+        except QueryBudgetExceededError:
+            pass
+        batch.query_cost = api.query_cost
+        return batch
+
+
+class SnowballSampler:
+    """Snowball sampling: expand *fanout* random neighbors per wave.
+
+    The classical social-science design: each discovered node names up to
+    *fanout* of its neighbors, wave after wave, until *count* nodes are
+    gathered.
+    """
+
+    name = "snowball"
+
+    def __init__(self, fanout: int = 3) -> None:
+        if fanout < 1:
+            raise ConfigurationError(f"fanout must be >= 1, got {fanout}")
+        self.fanout = fanout
+
+    def sample(
+        self,
+        api: SocialNetworkAPI,
+        start: Node,
+        count: int,
+        seed: RngLike = None,
+    ) -> SampleBatch:
+        """Collect *count* nodes by fanout-limited wave expansion."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        rng = ensure_rng(seed)
+        batch = SampleBatch(sampler=f"{self.name}-{self.fanout}")
+        visited = {start}
+        wave: List[Node] = [start]
+        try:
+            while wave and len(batch.nodes) < count:
+                next_wave: List[Node] = []
+                for node in wave:
+                    if len(batch.nodes) >= count:
+                        break
+                    batch.nodes.append(node)
+                    batch.target_weights.append(1.0)
+                    neighbors = list(api.neighbors(node))
+                    rng.shuffle(neighbors)
+                    for neighbor in neighbors[: self.fanout]:
+                        if neighbor not in visited:
+                            visited.add(neighbor)
+                            next_wave.append(neighbor)
+                wave = next_wave
+        except QueryBudgetExceededError:
+            pass
+        batch.query_cost = api.query_cost
+        return batch

@@ -1,0 +1,188 @@
+"""Gelman–Rubin convergence diagnostic for parallel chains.
+
+The paper names Gelman–Rubin among the standard convergence monitors (§2.2.3
+via [11]) and cites the many-parallel-walks idea [3]; this module provides
+both: the potential-scale-reduction-factor (PSRF) diagnostic and a sampler
+that runs several chains from distinct starts and only harvests once the
+chains agree.
+
+PSRF compares between-chain and within-chain variance of the monitored
+scalar: values near 1 indicate the chains have forgotten their starts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError, QueryBudgetExceededError
+from repro.osn.api import SocialNetworkAPI
+from repro.rng import RngLike, ensure_rng
+from repro.walks.samplers import SampleBatch
+from repro.walks.transitions import Node, TransitionDesign
+from repro.walks.walker import step_once
+
+
+class GelmanRubinMonitor:
+    """Potential scale reduction factor over two or more chains."""
+
+    def __init__(self, threshold: float = 1.1, min_samples_per_chain: int = 10) -> None:
+        if threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must exceed 1.0, got {threshold}"
+            )
+        if min_samples_per_chain < 2:
+            raise ConfigurationError(
+                f"min_samples_per_chain must be >= 2, got {min_samples_per_chain}"
+            )
+        self.threshold = threshold
+        self.min_samples_per_chain = min_samples_per_chain
+        self._chains: Dict[int, List[float]] = {}
+
+    def observe(self, chain: int, value: float) -> None:
+        """Record one monitored observation for *chain*."""
+        self._chains.setdefault(chain, []).append(float(value))
+
+    @property
+    def chain_count(self) -> int:
+        """Number of chains with at least one observation."""
+        return len(self._chains)
+
+    def psrf(self) -> float:
+        """The potential scale reduction factor R̂.
+
+        Uses the classic split-free formulation: with m chains of length n,
+        within-chain variance W, between-chain variance of means B/n,
+
+            R̂ = sqrt( ((n-1)/n · W + B/n) / W ).
+
+        Raises
+        ------
+        ConvergenceError
+            With fewer than 2 chains or short chains.
+        """
+        chains = [np.asarray(c) for c in self._chains.values()]
+        if len(chains) < 2:
+            raise ConvergenceError("Gelman-Rubin needs at least two chains")
+        n = min(len(c) for c in chains)
+        if n < self.min_samples_per_chain:
+            raise ConvergenceError(
+                f"need {self.min_samples_per_chain} samples per chain, have {n}"
+            )
+        trimmed = [c[-n:] for c in chains]  # align lengths on the tail
+        means = np.array([c.mean() for c in trimmed])
+        variances = np.array([c.var(ddof=1) for c in trimmed])
+        within = float(variances.mean())
+        if within <= 0.0:
+            # All chains constant: identical means are converged, split
+            # means can never reconcile.
+            return 1.0 if np.allclose(means, means[0]) else float("inf")
+        between_over_n = float(means.var(ddof=1))
+        estimate = (n - 1) / n * within + between_over_n
+        return float(np.sqrt(estimate / within))
+
+    def is_converged(self) -> bool:
+        """True once enough data exists and R̂ is under the threshold."""
+        try:
+            return self.psrf() <= self.threshold
+        except ConvergenceError:
+            return False
+
+    def reset(self) -> None:
+        """Drop all chains."""
+        self._chains.clear()
+
+
+class ParallelBurnInSampler:
+    """Many parallel chains with a shared Gelman–Rubin burn-in.
+
+    Advances *chain_count* walks (from distinct starts) in lockstep until
+    the PSRF of the monitored degree series drops under the threshold, then
+    takes each chain's current node as a sample — yielding *chain_count*
+    samples per burn-in instead of one, and guarding against a single chain
+    being trapped in one region of the graph (the [3]/[14] argument the
+    paper quotes in §6.1).
+    """
+
+    name = "parallel-burnin"
+
+    def __init__(
+        self,
+        design: TransitionDesign,
+        chain_count: int = 4,
+        threshold: float = 1.1,
+        check_every: int = 10,
+        min_steps: int = 30,
+        max_steps: int = 5000,
+    ) -> None:
+        if chain_count < 2:
+            raise ConfigurationError(f"need >= 2 chains, got {chain_count}")
+        if min_steps < 1 or max_steps < min_steps:
+            raise ConfigurationError(
+                f"need 1 <= min_steps <= max_steps, got {min_steps}, {max_steps}"
+            )
+        if check_every < 1:
+            raise ConfigurationError(f"check_every must be >= 1, got {check_every}")
+        self.design = design
+        self.chain_count = chain_count
+        self.threshold = threshold
+        self.check_every = check_every
+        self.min_steps = min_steps
+        self.max_steps = max_steps
+
+    def _advance_round(
+        self, api: SocialNetworkAPI, starts: Sequence[Node], seed: RngLike
+    ) -> tuple[list[Node], int]:
+        rng = ensure_rng(seed)
+        monitor = GelmanRubinMonitor(threshold=self.threshold)
+        positions = list(starts)
+        for chain, node in enumerate(positions):
+            monitor.observe(chain, api.degree(node))
+        steps = 0
+        while steps < self.max_steps:
+            for chain in range(len(positions)):
+                positions[chain] = step_once(api, self.design, positions[chain], rng)
+                monitor.observe(chain, api.degree(positions[chain]))
+            steps += 1
+            ready = steps >= self.min_steps and steps % self.check_every == 0
+            if ready and monitor.is_converged():
+                break
+        return positions, steps * len(positions)
+
+    def sample(
+        self,
+        api: SocialNetworkAPI,
+        starts: Sequence[Node],
+        count: int,
+        seed: RngLike = None,
+    ) -> SampleBatch:
+        """Collect *count* samples, ``chain_count`` per joint burn-in.
+
+        *starts* must supply one node per chain; rounds reuse the same
+        starts (each round is an independent joint burn-in).
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if len(starts) != self.chain_count:
+            raise ConfigurationError(
+                f"need {self.chain_count} starts, got {len(starts)}"
+            )
+        rng = ensure_rng(seed)
+        batch = SampleBatch(sampler=f"{self.name}-{self.design.name}")
+        while len(batch.nodes) < count:
+            try:
+                positions, steps = self._advance_round(api, starts, rng)
+            except QueryBudgetExceededError:
+                break
+            batch.walk_steps += steps
+            for node in positions:
+                if len(batch.nodes) >= count:
+                    break
+                batch.nodes.append(node)
+                batch.target_weights.append(
+                    self.design.target_weight(api, node)
+                )
+            batch.query_cost = api.query_cost
+        batch.query_cost = api.query_cost
+        return batch

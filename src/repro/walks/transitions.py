@@ -1,0 +1,359 @@
+"""Transition designs: the probability law of a single random-walk step.
+
+A :class:`TransitionDesign` maps the current node to a probability
+distribution over ``{current} ∪ N(current)`` (paper §2.2: the "transit
+design").  Designs are written against a *neighbor view* — anything with
+``neighbors(node)`` and ``degree(node)`` — so the same object drives
+
+* the online walker over :class:`repro.osn.SocialNetworkAPI` (queries cost),
+* the exact transition matrices in :mod:`repro.markov` (oracle, free), and
+* the backward estimators in :mod:`repro.core`.
+
+Query-cost realism shapes the interface.  ``step`` draws one transition
+touching only the nodes a real crawler would (e.g. MHRW proposes one
+neighbor and checks one degree, rather than materializing the whole row,
+which would query *every* neighbor).  ``transition_probability`` computes a
+single entry ``T(u, v)`` with the same parsimony.  ``transition_row`` — the
+full distribution — exists for the oracle matrix builder and small-graph
+work, where the view is a free in-memory graph.
+
+Each design also declares its *target weight* ``target_weight(view, node)``:
+the unnormalized stationary probability π(node).  WALK-ESTIMATE needs it
+for acceptance–rejection, and the aggregate estimators use it to
+importance-weight samples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Protocol, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphError
+from repro.rng import choice_weighted
+
+Node = int
+
+
+class NeighborView(Protocol):
+    """Minimal read interface shared by Graph and SocialNetworkAPI."""
+
+    def neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """Sorted neighbors of *node*."""
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbors of *node*."""
+
+
+class TransitionDesign(ABC):
+    """Abstract transit design of an MCMC random walk."""
+
+    #: Short identifier used in reports and result records.
+    name: str = "abstract"
+
+    #: Whether T(u, u) can be positive for some node.  Backward estimation
+    #: must include the node itself among predecessor candidates iff so.
+    may_self_loop: bool = False
+
+    @abstractmethod
+    def transition_row(self, view: NeighborView, node: Node) -> Dict[Node, float]:
+        """Full distribution of the next step from *node* (oracle use).
+
+        Returns a dict mapping candidate next nodes (neighbors, possibly
+        including *node* itself) to probabilities summing to 1.
+        """
+
+    @abstractmethod
+    def transition_probability(
+        self, view: NeighborView, source: Node, destination: Node
+    ) -> float:
+        """Single entry ``T(source, destination)``; 0 if not a candidate."""
+
+    @abstractmethod
+    def step(self, view: NeighborView, node: Node, rng: np.random.Generator) -> Node:
+        """Draw the next node, touching as few nodes as the design allows."""
+
+    @abstractmethod
+    def target_weight(self, view: NeighborView, node: Node) -> float:
+        """Unnormalized stationary probability π(node) of this design."""
+
+    def uniform_target(self) -> bool:
+        """True if the stationary distribution is uniform.
+
+        Decides whether plain arithmetic means are unbiased for this
+        design's samples (paper §7.1 uses arithmetic vs harmonic means).
+        """
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _require_neighbors(view: NeighborView, node: Node) -> Tuple[Node, ...]:
+    neighbors = view.neighbors(node)
+    if not neighbors:
+        raise GraphError(f"random walk stuck: node {node} has no neighbors")
+    return neighbors
+
+
+class SimpleRandomWalk(TransitionDesign):
+    """Simple Random Walk (paper Definition 1).
+
+    Uniform over neighbors; stationary probability proportional to degree.
+    """
+
+    name = "srw"
+    may_self_loop = False
+
+    def transition_row(self, view: NeighborView, node: Node) -> Dict[Node, float]:
+        neighbors = _require_neighbors(view, node)
+        p = 1.0 / len(neighbors)
+        return {neighbor: p for neighbor in neighbors}
+
+    def transition_probability(
+        self, view: NeighborView, source: Node, destination: Node
+    ) -> float:
+        neighbors = _require_neighbors(view, source)
+        if destination not in neighbors:
+            return 0.0
+        return 1.0 / len(neighbors)
+
+    def step(self, view: NeighborView, node: Node, rng: np.random.Generator) -> Node:
+        neighbors = _require_neighbors(view, node)
+        return neighbors[int(rng.integers(0, len(neighbors)))]
+
+    def target_weight(self, view: NeighborView, node: Node) -> float:
+        return float(view.degree(node))
+
+
+class MetropolisHastingsWalk(TransitionDesign):
+    """Metropolis–Hastings Random Walk with uniform target (paper Definition 2).
+
+    Proposes a uniform neighbor ``v`` and accepts with probability
+    ``min(1, d(u)/d(v))``; rejected proposals stay at ``u``.  A single step
+    therefore queries only the current node and the proposed neighbor —
+    the query cost profile real MHRW crawlers have.
+    """
+
+    name = "mhrw"
+    may_self_loop = True
+
+    def transition_row(self, view: NeighborView, node: Node) -> Dict[Node, float]:
+        neighbors = _require_neighbors(view, node)
+        du = len(neighbors)
+        row: Dict[Node, float] = {}
+        moved_mass = 0.0
+        for neighbor in neighbors:
+            dv = view.degree(neighbor)
+            p = (1.0 / du) * min(1.0, du / dv)
+            row[neighbor] = p
+            moved_mass += p
+        self_loop = 1.0 - moved_mass
+        if self_loop > 1e-15:
+            row[node] = row.get(node, 0.0) + self_loop
+        return row
+
+    def transition_probability(
+        self, view: NeighborView, source: Node, destination: Node
+    ) -> float:
+        if destination == source:
+            # The self-loop mass is the complement of all outgoing mass;
+            # computing it genuinely requires every neighbor's degree.
+            row = self.transition_row(view, source)
+            return row.get(source, 0.0)
+        neighbors = _require_neighbors(view, source)
+        if destination not in neighbors:
+            return 0.0
+        du = len(neighbors)
+        dv = view.degree(destination)
+        return (1.0 / du) * min(1.0, du / dv)
+
+    def step(self, view: NeighborView, node: Node, rng: np.random.Generator) -> Node:
+        neighbors = _require_neighbors(view, node)
+        proposal = neighbors[int(rng.integers(0, len(neighbors)))]
+        du = len(neighbors)
+        dv = view.degree(proposal)
+        if dv <= du or rng.random() < du / dv:
+            return proposal
+        return node
+
+    def target_weight(self, view: NeighborView, node: Node) -> float:
+        return 1.0
+
+    def uniform_target(self) -> bool:
+        return True
+
+
+class LazyWalk(TransitionDesign):
+    """Lazy version of another design: stay put with probability *laziness*.
+
+    Laziness preserves the stationary distribution while guaranteeing
+    aperiodicity — the standard fix for (near-)bipartite graphs (the
+    paper's footnote 1 assumes a nonzero self-transition for exactly this
+    reason).
+    """
+
+    name = "lazy"
+    may_self_loop = True
+
+    def __init__(self, inner: TransitionDesign, laziness: float = 0.5) -> None:
+        if not 0.0 < laziness < 1.0:
+            raise ConfigurationError(
+                f"laziness must be strictly between 0 and 1, got {laziness}"
+            )
+        self.inner = inner
+        self.laziness = laziness
+        self.name = f"lazy-{inner.name}"
+
+    def transition_row(self, view: NeighborView, node: Node) -> Dict[Node, float]:
+        inner_row = self.inner.transition_row(view, node)
+        row = {
+            candidate: (1.0 - self.laziness) * p for candidate, p in inner_row.items()
+        }
+        row[node] = row.get(node, 0.0) + self.laziness
+        return row
+
+    def transition_probability(
+        self, view: NeighborView, source: Node, destination: Node
+    ) -> float:
+        moving = (1.0 - self.laziness) * self.inner.transition_probability(
+            view, source, destination
+        )
+        if destination == source:
+            return self.laziness + moving
+        return moving
+
+    def step(self, view: NeighborView, node: Node, rng: np.random.Generator) -> Node:
+        if rng.random() < self.laziness:
+            return node
+        return self.inner.step(view, node, rng)
+
+    def target_weight(self, view: NeighborView, node: Node) -> float:
+        return self.inner.target_weight(view, node)
+
+    def uniform_target(self) -> bool:
+        return self.inner.uniform_target()
+
+    def __repr__(self) -> str:
+        return f"LazyWalk({self.inner!r}, laziness={self.laziness})"
+
+
+class MaxDegreeWalk(TransitionDesign):
+    """Max-degree walk: uniform stationary via a degree-capped self-loop.
+
+    Moves to a uniform neighbor with probability ``d(u)/d_max`` and stays
+    otherwise.  Requires a global degree bound; included as the classical
+    alternative to MHRW for uniform sampling and to exercise
+    WALK-ESTIMATE's design-transparency claim.
+    """
+
+    name = "maxdeg"
+    may_self_loop = True
+
+    def __init__(self, max_degree: int) -> None:
+        if max_degree < 1:
+            raise ConfigurationError(f"max_degree must be >= 1, got {max_degree}")
+        self.max_degree = max_degree
+
+    def _check_degree(self, view: NeighborView, node: Node, degree: int) -> None:
+        if degree > self.max_degree:
+            raise ConfigurationError(
+                f"node {node} has degree {degree} > declared "
+                f"max_degree {self.max_degree}"
+            )
+
+    def transition_row(self, view: NeighborView, node: Node) -> Dict[Node, float]:
+        neighbors = _require_neighbors(view, node)
+        self._check_degree(view, node, len(neighbors))
+        p = 1.0 / self.max_degree
+        row = {neighbor: p for neighbor in neighbors}
+        self_loop = 1.0 - p * len(neighbors)
+        if self_loop > 1e-15:
+            row[node] = row.get(node, 0.0) + self_loop
+        return row
+
+    def transition_probability(
+        self, view: NeighborView, source: Node, destination: Node
+    ) -> float:
+        neighbors = _require_neighbors(view, source)
+        self._check_degree(view, source, len(neighbors))
+        if destination == source:
+            return 1.0 - len(neighbors) / self.max_degree
+        if destination not in neighbors:
+            return 0.0
+        return 1.0 / self.max_degree
+
+    def step(self, view: NeighborView, node: Node, rng: np.random.Generator) -> Node:
+        neighbors = _require_neighbors(view, node)
+        self._check_degree(view, node, len(neighbors))
+        if rng.random() < len(neighbors) / self.max_degree:
+            return neighbors[int(rng.integers(0, len(neighbors)))]
+        return node
+
+    def target_weight(self, view: NeighborView, node: Node) -> float:
+        return 1.0
+
+    def uniform_target(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"MaxDegreeWalk(max_degree={self.max_degree})"
+
+
+class BidirectionalWalk(TransitionDesign):
+    """SRW over edges that pass the paper's bidirectional check (§6.3.1).
+
+    Under call-stable neighbor restrictions (types 2/3), the visible edge
+    relation is asymmetric: ``v ∈ N_vis(u)`` does not imply
+    ``u ∈ N_vis(v)``, and a walk on that directed relation has no usable
+    stationary distribution.  The paper's remedy is to only traverse an
+    edge when both directions are visible; the mutual relation is symmetric
+    by construction, so this design is an SRW on the *mutual graph* with
+    stationary probability proportional to mutual degree.
+
+    Each step verifies candidates by querying them — the genuine query
+    price of the bidirectional check, paid exactly as a real crawler would.
+    """
+
+    name = "bidir-srw"
+    may_self_loop = False
+
+    def _mutual(self, view: NeighborView, node: Node) -> Tuple[Node, ...]:
+        visible = view.neighbors(node)
+        mutual = tuple(v for v in visible if node in view.neighbors(v))
+        if not mutual:
+            raise GraphError(
+                f"node {node} has no mutual edges under the restriction; "
+                "walk cannot proceed"
+            )
+        return mutual
+
+    def transition_row(self, view: NeighborView, node: Node) -> Dict[Node, float]:
+        mutual = self._mutual(view, node)
+        p = 1.0 / len(mutual)
+        return {neighbor: p for neighbor in mutual}
+
+    def transition_probability(
+        self, view: NeighborView, source: Node, destination: Node
+    ) -> float:
+        mutual = self._mutual(view, source)
+        if destination not in mutual:
+            return 0.0
+        return 1.0 / len(mutual)
+
+    def step(self, view: NeighborView, node: Node, rng: np.random.Generator) -> Node:
+        mutual = self._mutual(view, node)
+        return mutual[int(rng.integers(0, len(mutual)))]
+
+    def target_weight(self, view: NeighborView, node: Node) -> float:
+        return float(len(self._mutual(view, node)))
+
+
+def sample_from_row(
+    row: Dict[Node, float], rng: np.random.Generator
+) -> Node:
+    """Draw from an explicit transition row (generic fallback; oracle use)."""
+    candidates = list(row)
+    weights = [row[c] for c in candidates]
+    return choice_weighted(rng, candidates, weights)

@@ -1,0 +1,122 @@
+"""Forward random-walk execution over a neighbor view.
+
+:func:`run_walk` performs a *t*-step walk under a transition design and
+returns the full trajectory.  It works over either a raw
+:class:`~repro.graphs.Graph` (free) or a
+:class:`~repro.osn.SocialNetworkAPI` (charged), because both satisfy the
+``NeighborView`` protocol — WALK-ESTIMATE runs it over the API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.rng import RngLike, ensure_rng
+from repro.walks.transitions import NeighborView, Node, TransitionDesign
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Trajectory of one forward walk.
+
+    Attributes
+    ----------
+    path:
+        Visited nodes, ``path[0]`` = start, ``path[t]`` = position after
+        step ``t``; length ``steps + 1``.
+    """
+
+    path: tuple[Node, ...]
+
+    @property
+    def start(self) -> Node:
+        """The starting node."""
+        return self.path[0]
+
+    @property
+    def end(self) -> Node:
+        """The final node — WALK's sample candidate."""
+        return self.path[-1]
+
+    @property
+    def steps(self) -> int:
+        """Number of transitions taken."""
+        return len(self.path) - 1
+
+    def position_at(self, t: int) -> Node:
+        """Node occupied after step *t* (0 = start)."""
+        return self.path[t]
+
+
+def step_once(
+    view: NeighborView,
+    design: TransitionDesign,
+    current: Node,
+    rng: np.random.Generator,
+) -> Node:
+    """Draw the next node under *design*, with its native query footprint."""
+    return design.step(view, current, rng)
+
+
+def run_walk(
+    view: NeighborView,
+    design: TransitionDesign,
+    start: Node,
+    steps: int,
+    seed: RngLike = None,
+) -> WalkResult:
+    """Run a *steps*-step random walk from *start* and return its trajectory.
+
+    Each step queries the current node's neighbors (and, for MHRW, the
+    proposed neighbor's degree) through *view* — so over an API this accrues
+    query cost exactly as the paper accounts it.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    rng = ensure_rng(seed)
+    path: List[Node] = [start]
+    current = start
+    for _ in range(steps):
+        current = step_once(view, design, current, rng)
+        path.append(current)
+    return WalkResult(path=tuple(path))
+
+
+def continue_walk(
+    view: NeighborView,
+    design: TransitionDesign,
+    result: WalkResult,
+    extra_steps: int,
+    seed: RngLike = None,
+) -> WalkResult:
+    """Extend an existing trajectory by *extra_steps* more transitions.
+
+    Used by the one-long-run sampler, which keeps walking after burn-in and
+    harvests every visited node (paper §6.1).
+    """
+    if extra_steps < 0:
+        raise ValueError(f"extra_steps must be >= 0, got {extra_steps}")
+    rng = ensure_rng(seed)
+    path = list(result.path)
+    current = result.end
+    for _ in range(extra_steps):
+        current = step_once(view, design, current, rng)
+        path.append(current)
+    return WalkResult(path=tuple(path))
+
+
+def walk_attribute_series(
+    view, walk: WalkResult, attribute: str | None
+) -> Sequence[float]:
+    """Per-step attribute values along a trajectory.
+
+    With ``attribute=None``, uses the visible degree — the typical monitored
+    quantity for convergence diagnostics (paper §2.2.3: "a typical one is
+    the degree of a node").
+    """
+    if attribute is None:
+        return [float(view.degree(node)) for node in walk.path]
+    return [float(view.attribute(node, attribute)) for node in walk.path]

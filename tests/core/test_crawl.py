@@ -1,0 +1,80 @@
+"""Initial crawl: BFS coverage and exactness of the p_s table."""
+
+import numpy as np
+import pytest
+
+from repro.core.crawl import InitialCrawl
+from repro.errors import ConfigurationError
+from repro.graphs.generators import barabasi_albert_graph, cycle_graph
+from repro.graphs.properties import k_hop_neighborhood
+from repro.markov.matrix import TransitionMatrix
+from repro.osn.api import SocialNetworkAPI
+from repro.walks.transitions import (
+    LazyWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+)
+
+
+@pytest.mark.parametrize(
+    "design",
+    [SimpleRandomWalk(), MetropolisHastingsWalk(), LazyWalk(SimpleRandomWalk(), 0.3)],
+    ids=lambda d: d.name,
+)
+@pytest.mark.parametrize("hops", [0, 1, 2, 3])
+def test_table_matches_matrix_powers(design, hops, small_ba):
+    matrix = TransitionMatrix(small_ba, design)
+    crawl = InitialCrawl(SocialNetworkAPI(small_ba), design, start=0, hops=hops)
+    for s in range(hops + 1):
+        exact = matrix.step_distribution(0, s)
+        table = np.array(
+            [crawl.probability(v, s) for v in range(small_ba.number_of_nodes())]
+        )
+        assert np.allclose(table, exact), f"s={s}"
+
+
+def test_covers_step_boundaries(small_ba):
+    crawl = InitialCrawl(SocialNetworkAPI(small_ba), SimpleRandomWalk(), 0, 2)
+    assert crawl.covers_step(0)
+    assert crawl.covers_step(2)
+    assert not crawl.covers_step(3)
+    assert not crawl.covers_step(-1)
+    with pytest.raises(ConfigurationError):
+        crawl.probability(0, 3)
+
+
+def test_crawled_nodes_match_k_hop(small_ba):
+    crawl = InitialCrawl(SocialNetworkAPI(small_ba), SimpleRandomWalk(), 0, 2)
+    expected = set(k_hop_neighborhood(small_ba, 0, 2))
+    assert crawl.crawled_nodes == expected
+    assert crawl.distance(0) == 0
+    far = next(iter(set(small_ba.nodes()) - expected), None)
+    if far is not None:
+        assert crawl.distance(far) is None
+
+
+def test_crawl_queries_charged(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    crawl = InitialCrawl(api, SimpleRandomWalk(), 0, 2)
+    # Every node within 2 hops must have been queried (their neighbor
+    # lists feed the DP), and nothing else.
+    assert api.query_cost == len(crawl.crawled_nodes)
+
+
+def test_zero_hop_crawl_is_base_case(small_ba):
+    crawl = InitialCrawl(SocialNetworkAPI(small_ba), SimpleRandomWalk(), 5, 0)
+    assert crawl.probability(5, 0) == 1.0
+    assert crawl.probability(4, 0) == 0.0
+
+
+def test_negative_hops_rejected(small_ba):
+    with pytest.raises(ConfigurationError):
+        InitialCrawl(SocialNetworkAPI(small_ba), SimpleRandomWalk(), 0, -1)
+
+
+def test_out_of_support_probability_zero(small_cycle):
+    # On a cycle, after 1 step only the two ring neighbors have mass.
+    crawl = InitialCrawl(SocialNetworkAPI(small_cycle), SimpleRandomWalk(), 0, 1)
+    assert crawl.probability(1, 1) == pytest.approx(0.5)
+    assert crawl.probability(10, 1) == pytest.approx(0.5)
+    assert crawl.probability(5, 1) == 0.0

@@ -1,0 +1,101 @@
+"""IDEAL-WALK: oracle acceptance analysis and zero-bias sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.ideal import IdealWalk
+from repro.errors import ConfigurationError
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    barbell_graph,
+    cycle_graph,
+)
+from repro.walks.transitions import LazyWalk, MetropolisHastingsWalk, SimpleRandomWalk
+
+
+@pytest.fixture
+def ideal(small_ba):
+    return IdealWalk(small_ba, LazyWalk(SimpleRandomWalk(), 0.05), start=0)
+
+
+def test_acceptance_zero_before_diameter(small_cycle):
+    ideal = IdealWalk(small_cycle, LazyWalk(SimpleRandomWalk(), 0.05), start=0)
+    # An 11-cycle has diameter 5: nodes at distance > t are unreachable.
+    assert ideal.acceptance_probability(2) == 0.0
+    assert ideal.expected_cost_per_sample(2) == float("inf")
+    assert ideal.acceptance_probability(30) > 0.0
+
+
+def test_acceptance_increases_then_saturates(ideal):
+    values = [ideal.acceptance_probability(t) for t in (4, 8, 16, 64)]
+    assert values[0] <= values[1] <= values[2] + 1e-9
+    # At t -> infinity acceptance tends to min over v of pi(v)/q(v) > 0.
+    assert values[-1] > 0.0
+
+
+def test_cost_curve_u_shape(ideal):
+    # Figure 2's shape: drop to an interior minimum, then ~linear growth.
+    costs = {t: ideal.expected_cost_per_sample(t) for t in (2, 4, 8, 32, 128)}
+    t_opt, c_min = ideal.optimal_walk_length(max_t=128)
+    assert c_min <= min(costs.values())
+    assert costs[128] > c_min  # grows past the optimum
+    assert 1 <= t_opt < 128
+
+
+def test_cost_validates_t(ideal):
+    with pytest.raises(ConfigurationError):
+        ideal.expected_cost_per_sample(0)
+
+
+def test_input_walk_cost_decreases_with_looser_delta(ideal):
+    strict = ideal.input_walk_cost(delta=1e-6)
+    loose = ideal.input_walk_cost(delta=1e-2)
+    assert strict > loose >= 1
+    with pytest.raises(ConfigurationError):
+        ideal.input_walk_cost(delta=0.0)
+
+
+def test_savings_positive_on_social_like_graph(ideal):
+    saving = ideal.savings(relative_delta=0.1)
+    assert 0.0 < saving < 1.0
+    with pytest.raises(ConfigurationError):
+        ideal.savings(relative_delta=0.0)
+
+
+def test_barbell_savings_high():
+    # Paper Figure 3: barbell graphs show the largest savings.
+    graph = barbell_graph(31).relabeled()
+    ideal = IdealWalk(graph, LazyWalk(SimpleRandomWalk(), 0.05), start=0)
+    assert ideal.savings(relative_delta=0.1) > 0.5
+
+
+def test_sampling_distribution_matches_target(small_ba, rng):
+    # Zero-bias claim: with oracle quantities, accepted samples follow the
+    # target exactly (here: uniform via MHRW).
+    design = MetropolisHastingsWalk()
+    ideal = IdealWalk(small_ba, design, start=0)
+    batch = ideal.sample(3000, walk_length=12, seed=rng)
+    counts = np.bincount(batch.nodes, minlength=30) / len(batch)
+    assert np.max(np.abs(counts - 1.0 / 30)) < 0.02
+
+
+def test_sample_rejects_undersized_walk(small_cycle):
+    ideal = IdealWalk(small_cycle, LazyWalk(SimpleRandomWalk(), 0.05), start=0)
+    with pytest.raises(ConfigurationError):
+        ideal.sample(5, walk_length=2, seed=1)
+    with pytest.raises(ConfigurationError):
+        ideal.sample(0)
+
+
+def test_invalid_start_rejected(small_ba):
+    with pytest.raises(ConfigurationError):
+        IdealWalk(small_ba, SimpleRandomWalk(), start=999)
+
+
+def test_optimal_walk_length_failure_on_periodic_graph():
+    # Even cycle + pure SRW is periodic: p_t alternates parity and some
+    # node always has zero probability, so no finite-cost t exists.
+    graph = cycle_graph(6).relabeled()
+    ideal = IdealWalk(graph, SimpleRandomWalk(), start=0)
+    with pytest.raises(ConfigurationError):
+        ideal.optimal_walk_length(max_t=64)

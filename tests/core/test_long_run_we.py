@@ -1,0 +1,87 @@
+"""The §6.1 future-work sampler: WALK-ESTIMATE over one long run."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import WalkEstimateConfig
+from repro.core.long_run_we import LongRunWalkEstimateSampler
+from repro.errors import ConfigurationError
+from repro.estimators.metrics import empirical_distribution, l_infinity_bias
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.accounting import QueryBudget
+from repro.osn.api import SocialNetworkAPI
+from repro.walks.transitions import MetropolisHastingsWalk, SimpleRandomWalk
+
+
+@pytest.fixture
+def graph():
+    return barabasi_albert_graph(120, 4, seed=21).relabeled()
+
+
+@pytest.fixture
+def config():
+    return WalkEstimateConfig(
+        walk_length=5,
+        backward_repetitions=8,
+        calibration_walks=5,
+    )
+
+
+def test_collects_requested_count(graph, config):
+    api = SocialNetworkAPI(graph)
+    sampler = LongRunWalkEstimateSampler(SimpleRandomWalk(), config)
+    batch = sampler.sample(api, start=0, count=20, seed=1)
+    assert len(batch) == 20
+    assert batch.sampler == "we-longrun-srw"
+    assert batch.query_cost == api.query_cost
+    assert batch.walk_steps > 20 * 5  # forward segments + backward effort
+
+
+def test_crawl_disabled_automatically(graph):
+    config = WalkEstimateConfig(walk_length=5, crawl_hops=3)
+    sampler = LongRunWalkEstimateSampler(SimpleRandomWalk(), config)
+    assert sampler.config.crawl_hops == 0
+
+
+def test_budget_yields_partial_batch(graph, config):
+    api = SocialNetworkAPI(graph, budget=QueryBudget(30))
+    sampler = LongRunWalkEstimateSampler(SimpleRandomWalk(), config)
+    batch = sampler.sample(api, start=0, count=100, seed=2)
+    assert len(batch) < 100
+    assert api.query_cost <= 30
+
+
+def test_target_weights_follow_design(graph, config):
+    api = SocialNetworkAPI(graph)
+    batch = LongRunWalkEstimateSampler(MetropolisHastingsWalk(), config).sample(
+        api, 0, 10, seed=3
+    )
+    assert all(w == 1.0 for w in batch.target_weights)
+
+
+def test_count_validation(graph, config):
+    sampler = LongRunWalkEstimateSampler(SimpleRandomWalk(), config)
+    with pytest.raises(ConfigurationError):
+        sampler.sample(SocialNetworkAPI(graph), 0, 0)
+
+
+def test_distribution_close_to_target(graph):
+    # Marginal law check: accepted segment endpoints follow the
+    # degree-proportional target despite the shared boundary nodes.
+    config = WalkEstimateConfig(
+        walk_length=6,
+        backward_repetitions=12,
+        calibration_walks=8,
+        scale_percentile=10.0,
+    )
+    n = graph.number_of_nodes()
+    degrees = np.array([graph.degree(v) for v in range(n)], float)
+    target = degrees / degrees.sum()
+    nodes = []
+    for rep in range(12):
+        api = SocialNetworkAPI(graph)
+        sampler = LongRunWalkEstimateSampler(SimpleRandomWalk(), config)
+        nodes.extend(sampler.sample(api, 0, 150, seed=rep).nodes)
+    pdf = empirical_distribution(nodes, n)
+    noise = np.sqrt(target.max() / len(nodes))
+    assert l_infinity_bias(pdf, target) < 8 * noise

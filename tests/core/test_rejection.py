@@ -1,0 +1,120 @@
+"""Acceptance-rejection with the bootstrapped scale factor."""
+
+import numpy as np
+import pytest
+
+from repro.core.rejection import RejectionSampler, ScaleFactorBootstrap
+from repro.errors import ConfigurationError, EstimationError
+
+
+def test_bootstrap_percentile():
+    bootstrap = ScaleFactorBootstrap(percentile=10.0, minimum_observations=5)
+    for ratio in np.linspace(1.0, 100.0, 100):
+        bootstrap.observe(ratio)
+    assert bootstrap.scale_factor() == pytest.approx(
+        np.percentile(np.linspace(1.0, 100.0, 100), 10.0)
+    )
+
+
+def test_bootstrap_filters_degenerate_ratios():
+    bootstrap = ScaleFactorBootstrap(minimum_observations=1)
+    bootstrap.observe(0.0)
+    bootstrap.observe(-1.0)
+    bootstrap.observe(float("inf"))
+    bootstrap.observe(float("nan"))
+    assert bootstrap.observation_count == 0
+    bootstrap.observe(2.0)
+    assert bootstrap.observation_count == 1
+    assert bootstrap.scale_factor() == 2.0
+
+
+def test_bootstrap_not_ready_raises():
+    bootstrap = ScaleFactorBootstrap(minimum_observations=3)
+    bootstrap.observe(1.0)
+    with pytest.raises(EstimationError):
+        bootstrap.scale_factor()
+    empty = ScaleFactorBootstrap()
+    with pytest.raises(EstimationError):
+        empty.scale_factor()
+
+
+def test_bootstrap_validates_configuration():
+    with pytest.raises(ConfigurationError):
+        ScaleFactorBootstrap(percentile=0.0)
+    with pytest.raises(ConfigurationError):
+        ScaleFactorBootstrap(percentile=100.0)
+    with pytest.raises(ConfigurationError):
+        ScaleFactorBootstrap(minimum_observations=0)
+
+
+def _ready_bootstrap(scale=1.0):
+    bootstrap = ScaleFactorBootstrap(minimum_observations=1)
+    bootstrap.observe(scale)
+    return bootstrap
+
+
+def test_acceptance_probability_formula(rng):
+    sampler = RejectionSampler(_ready_bootstrap(scale=2.0), seed=rng)
+    # beta = scale / (p / q) = 2.0 / (4.0 / 1.0) = 0.5
+    assert sampler.acceptance_probability(4.0, 1.0) == pytest.approx(0.5)
+    # Clamped at 1 when the ratio is below the scale.
+    assert sampler.acceptance_probability(1.0, 1.0) == 1.0
+
+
+def test_zero_estimate_accepted(rng):
+    sampler = RejectionSampler(_ready_bootstrap(), seed=rng)
+    assert sampler.acceptance_probability(0.0, 1.0) == 1.0
+
+
+def test_invalid_inputs(rng):
+    sampler = RejectionSampler(_ready_bootstrap(), seed=rng)
+    with pytest.raises(ConfigurationError):
+        sampler.acceptance_probability(1.0, 0.0)
+    with pytest.raises(EstimationError):
+        sampler.acceptance_probability(-1.0, 1.0)
+
+
+def test_accept_rate_tracks_beta(rng):
+    # Prime the pool heavily so the decisions' own ratio feedback (2.0 per
+    # accept call) cannot move the percentile during the test.
+    bootstrap = ScaleFactorBootstrap(minimum_observations=1)
+    for _ in range(10000):
+        bootstrap.observe(1.0)
+    sampler = RejectionSampler(bootstrap, seed=rng)
+    accepted = sum(sampler.accept(2.0, 1.0) for _ in range(4000))
+    # beta = 1/2; binomial CI comfortably within +-0.05.
+    assert abs(accepted / 4000 - 0.5) < 0.05
+    assert sampler.accepted + sampler.rejected == 4000
+    assert sampler.acceptance_rate == pytest.approx(accepted / 4000)
+
+
+def test_accept_feeds_bootstrap(rng):
+    bootstrap = ScaleFactorBootstrap(minimum_observations=1)
+    bootstrap.observe(1.0)
+    sampler = RejectionSampler(bootstrap, seed=rng)
+    sampler.accept(3.0, 1.0)
+    assert bootstrap.observation_count == 2  # initial + the decision's ratio
+
+
+def test_rejection_corrects_distribution(rng):
+    """End-to-end law check: rejection turns a skewed draw into the target.
+
+    Proposal draws node A with 0.8, node B with 0.2; target is uniform.
+    With exact probabilities and scale = min(p/q), accepted samples must
+    be ~50/50.
+    """
+    p = {"A": 0.8, "B": 0.2}
+    q = {"A": 1.0, "B": 1.0}
+    bootstrap = ScaleFactorBootstrap(minimum_observations=1)
+    bootstrap.observe(min(p[x] / q[x] for x in p))
+    sampler = RejectionSampler(bootstrap, seed=rng)
+    counts = {"A": 0, "B": 0}
+    for _ in range(20000):
+        node = "A" if rng.random() < 0.8 else "B"
+        # Feed the exact sampling probability; keep the bootstrap pinned by
+        # never observing ratios (acceptance_probability only).
+        beta = sampler.acceptance_probability(p[node], q[node])
+        if rng.random() < beta:
+            counts[node] += 1
+    total = counts["A"] + counts["B"]
+    assert abs(counts["A"] / total - 0.5) < 0.03

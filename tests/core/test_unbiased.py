@@ -1,0 +1,128 @@
+"""UNBIASED-ESTIMATE: exact expectation by exhaustive enumeration.
+
+The paper proves E[estimate] = p_t(u) (Eq. 22–24).  These tests *compute*
+that expectation exactly — enumerating every backward path with its
+probability — and compare against matrix-power ground truth, which verifies
+the property without Monte-Carlo slack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.crawl import InitialCrawl
+from repro.core.unbiased import backward_candidates, unbiased_estimate
+from repro.graphs.generators import barabasi_albert_graph
+from repro.markov.matrix import TransitionMatrix
+from repro.osn.api import SocialNetworkAPI
+from repro.walks.transitions import (
+    LazyWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+)
+
+DESIGNS = [
+    SimpleRandomWalk(),
+    MetropolisHastingsWalk(),
+    LazyWalk(SimpleRandomWalk(), 0.25),
+]
+
+
+def exact_expectation(graph, design, node, start, t, crawl=None):
+    """E[UNBIASED-ESTIMATE] by exhaustive recursion over backward paths."""
+    if crawl is not None and crawl.covers_step(t):
+        return crawl.probability(node, t)
+    if t == 0:
+        return 1.0 if node == start else 0.0
+    candidates = backward_candidates(graph, design, node)
+    k = len(candidates)
+    total = 0.0
+    for predecessor in candidates:
+        transition = design.transition_probability(graph, predecessor, node)
+        if transition == 0.0:
+            continue
+        total += (
+            (1.0 / k)
+            * k
+            * transition
+            * exact_expectation(graph, design, predecessor, start, t - 1, crawl)
+        )
+    return total
+
+
+@pytest.mark.parametrize("design", DESIGNS, ids=lambda d: d.name)
+@pytest.mark.parametrize("t", [0, 1, 2, 3])
+def test_expectation_equals_true_probability(design, t, triangle):
+    matrix = TransitionMatrix(triangle, design)
+    truth = matrix.step_distribution(0, t)
+    for node in triangle.nodes():
+        expected = exact_expectation(triangle, design, node, 0, t)
+        assert expected == pytest.approx(truth[node], abs=1e-12)
+
+
+@pytest.mark.parametrize("design", DESIGNS, ids=lambda d: d.name)
+def test_expectation_on_irregular_graph(design, path4):
+    matrix = TransitionMatrix(path4, design)
+    truth = matrix.step_distribution(0, 3)
+    for node in path4.nodes():
+        expected = exact_expectation(path4, design, node, 0, 3)
+        assert expected == pytest.approx(truth[node], abs=1e-12)
+
+
+@pytest.mark.parametrize("design", DESIGNS, ids=lambda d: d.name)
+def test_expectation_with_crawl(design, path4):
+    crawl = InitialCrawl(SocialNetworkAPI(path4), design, start=0, hops=1)
+    matrix = TransitionMatrix(path4, design)
+    truth = matrix.step_distribution(0, 3)
+    for node in path4.nodes():
+        expected = exact_expectation(path4, design, node, 0, 3, crawl=crawl)
+        assert expected == pytest.approx(truth[node], abs=1e-12)
+
+
+def test_monte_carlo_agrees_with_truth(small_ba, rng):
+    design = SimpleRandomWalk()
+    matrix = TransitionMatrix(small_ba, design)
+    t, start, node = 4, 0, 12
+    truth = matrix.step_distribution(start, t)[node]
+    draws = np.array(
+        [unbiased_estimate(small_ba, design, node, start, t, seed=rng) for _ in range(30000)]
+    )
+    standard_error = draws.std() / np.sqrt(len(draws))
+    assert abs(draws.mean() - truth) < 5 * standard_error + 1e-9
+
+
+def test_crawl_reduces_variance(small_ba, rng):
+    design = SimpleRandomWalk()
+    crawl = InitialCrawl(SocialNetworkAPI(small_ba), design, 0, 2)
+    t, node = 5, 20
+    plain = np.array(
+        [unbiased_estimate(small_ba, design, node, 0, t, seed=rng) for _ in range(4000)]
+    )
+    assisted = np.array(
+        [
+            unbiased_estimate(small_ba, design, node, 0, t, seed=rng, crawl=crawl)
+            for _ in range(4000)
+        ]
+    )
+    assert assisted.std() < plain.std()
+
+
+def test_realizations_non_negative(small_ba, rng):
+    design = MetropolisHastingsWalk()
+    for _ in range(200):
+        value = unbiased_estimate(small_ba, design, 7, 0, 3, seed=rng)
+        assert value >= 0.0
+
+
+def test_t_zero_base_case(small_ba, rng):
+    design = SimpleRandomWalk()
+    assert unbiased_estimate(small_ba, design, 0, 0, 0, seed=rng) == 1.0
+    assert unbiased_estimate(small_ba, design, 5, 0, 0, seed=rng) == 0.0
+    with pytest.raises(ValueError):
+        unbiased_estimate(small_ba, design, 5, 0, -1, seed=rng)
+
+
+def test_backward_candidates_srw_vs_mhrw(small_ba):
+    srw_candidates = backward_candidates(small_ba, SimpleRandomWalk(), 3)
+    assert srw_candidates == small_ba.neighbors(3)
+    mhrw_candidates = backward_candidates(small_ba, MetropolisHastingsWalk(), 3)
+    assert mhrw_candidates == small_ba.neighbors(3) + (3,)

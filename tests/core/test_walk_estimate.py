@@ -1,0 +1,151 @@
+"""WalkEstimateSampler end-to-end behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import WalkEstimateConfig
+from repro.core.walk_estimate import (
+    WalkEstimateSampler,
+    we_crawl_sampler,
+    we_full_sampler,
+    we_none_sampler,
+    we_weighted_sampler,
+)
+from repro.errors import ConfigurationError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.accounting import QueryBudget
+from repro.osn.api import SocialNetworkAPI
+from repro.walks.transitions import MetropolisHastingsWalk, SimpleRandomWalk
+
+
+@pytest.fixture
+def config():
+    return WalkEstimateConfig(
+        walk_length=5,
+        crawl_hops=2,
+        backward_repetitions=8,
+        refine_repetitions=2,
+        calibration_walks=5,
+    )
+
+
+@pytest.fixture
+def graph():
+    return barabasi_albert_graph(120, 4, seed=6).relabeled()
+
+
+def test_sampler_collects_requested_count(graph, config):
+    api = SocialNetworkAPI(graph)
+    sampler = we_full_sampler(SimpleRandomWalk(), config)
+    batch = sampler.sample(api, start=0, count=15, seed=1)
+    assert len(batch) == 15
+    assert len(batch.target_weights) == 15
+    assert batch.query_cost == api.query_cost
+    assert all(graph.has_node(node) for node in batch.nodes)
+
+
+def test_report_provenance(graph, config):
+    api = SocialNetworkAPI(graph)
+    sampler = we_full_sampler(SimpleRandomWalk(), config)
+    batch = sampler.sample(api, start=0, count=10, seed=2)
+    report = sampler.last_report
+    assert report is not None
+    assert report.forward_walks >= config.calibration_walks + 10
+    assert report.forward_steps == report.forward_walks * 5
+    assert report.backward_steps > 0
+    assert 0.0 < report.acceptance_rate <= 1.0
+    assert report.crawl_cost > 0
+    assert report.total_steps == report.forward_steps + report.backward_steps
+    accepted_records = [r for r in report.records if r.accepted]
+    assert len(accepted_records) == len(batch)
+
+
+def test_respects_budget_with_partial_batch(graph, config):
+    api = SocialNetworkAPI(graph, budget=QueryBudget(40))
+    sampler = we_full_sampler(SimpleRandomWalk(), config)
+    batch = sampler.sample(api, start=0, count=100, seed=3)
+    assert len(batch) < 100
+    assert api.query_cost <= 40
+
+
+def test_target_weights_match_design(graph, config):
+    api = SocialNetworkAPI(graph)
+    sampler = we_full_sampler(SimpleRandomWalk(), config)
+    batch = sampler.sample(api, start=0, count=8, seed=4)
+    for node, weight in zip(batch.nodes, batch.target_weights):
+        assert weight == graph.degree(node)
+
+    api = SocialNetworkAPI(graph)
+    sampler = we_full_sampler(MetropolisHastingsWalk(), config)
+    batch = sampler.sample(api, start=0, count=8, seed=5)
+    assert all(w == 1.0 for w in batch.target_weights)
+
+
+def test_count_validation(graph, config):
+    sampler = we_full_sampler(SimpleRandomWalk(), config)
+    with pytest.raises(ConfigurationError):
+        sampler.sample(SocialNetworkAPI(graph), 0, 0)
+
+
+def test_variant_factories_toggle_heuristics(config):
+    design = SimpleRandomWalk()
+    none = we_none_sampler(design, config)
+    assert none.config.crawl_hops == 0
+    assert not none.config.weighted_sampling
+    assert none.name == "we-none-srw"
+
+    crawl = we_crawl_sampler(design, config)
+    assert crawl.config.crawl_hops > 0
+    assert not crawl.config.weighted_sampling
+
+    weighted = we_weighted_sampler(design, config)
+    assert weighted.config.crawl_hops == 0
+    assert weighted.config.weighted_sampling
+
+    full = we_full_sampler(design, config)
+    assert full.config.crawl_hops > 0
+    assert full.config.weighted_sampling
+    assert full.name == "we-srw"
+
+
+def test_variants_fill_in_crawl_hops_when_disabled():
+    design = SimpleRandomWalk()
+    base = WalkEstimateConfig(walk_length=5, crawl_hops=0)
+    assert we_crawl_sampler(design, base).config.crawl_hops == 2
+    assert we_full_sampler(design, base).config.crawl_hops == 2
+
+
+def test_walk_length_derived_from_diameter_hint(graph):
+    config = WalkEstimateConfig(diameter_hint=3, crawl_hops=1, calibration_walks=3)
+    api = SocialNetworkAPI(graph)
+    sampler = WalkEstimateSampler(SimpleRandomWalk(), config)
+    sampler.sample(api, start=0, count=3, seed=6)
+    report = sampler.last_report
+    assert report.forward_steps == report.forward_walks * 7  # 2*3+1
+
+
+def test_deterministic_under_seed(graph, config):
+    a = we_full_sampler(SimpleRandomWalk(), config).sample(
+        SocialNetworkAPI(graph), 0, 10, seed=99
+    )
+    b = we_full_sampler(SimpleRandomWalk(), config).sample(
+        SocialNetworkAPI(graph), 0, 10, seed=99
+    )
+    assert a.nodes == b.nodes
+
+
+def test_we_none_variant_runs_without_crawl_or_history(graph, config):
+    api = SocialNetworkAPI(graph)
+    sampler = we_none_sampler(SimpleRandomWalk(), config)
+    batch = sampler.sample(api, start=0, count=5, seed=7)
+    assert len(batch) == 5
+    assert sampler.last_report.crawl_cost == 0
+
+
+def test_samples_are_spread_over_the_graph(graph, config):
+    # A short-walk sampler that never left the start's vicinity would
+    # concentrate; the corrected sampler must reach a broad node set.
+    api = SocialNetworkAPI(graph)
+    sampler = we_full_sampler(SimpleRandomWalk(), config)
+    batch = sampler.sample(api, start=0, count=60, seed=8)
+    assert len(set(batch.nodes)) > 25

@@ -1,0 +1,118 @@
+"""Dataset surrogates: structure, attributes, ground truth, registry."""
+
+import pytest
+
+from repro.datasets.attributes import (
+    attach_description_lengths,
+    attach_stars,
+    attach_topological_attributes,
+)
+from repro.datasets.registry import DATASET_BUILDERS, build_dataset
+from repro.datasets.surrogates import (
+    google_plus_surrogate,
+    twitter_surrogate,
+    yelp_surrogate,
+)
+from repro.datasets.synthetic import ba_synthetic, exact_bias_graph
+from repro.errors import ConfigurationError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.properties import is_connected
+
+
+def test_registry_contains_all_builders():
+    assert set(DATASET_BUILDERS) == {
+        "google_plus",
+        "yelp",
+        "twitter",
+        "ba_synthetic",
+        "exact_bias",
+    }
+    with pytest.raises(ConfigurationError):
+        build_dataset("facebook")
+
+
+def test_google_plus_surrogate_shape():
+    dataset = google_plus_surrogate(nodes=400, m=10, seed=1)
+    graph = dataset.graph
+    assert dataset.name == "google_plus"
+    assert graph.number_of_nodes() == 400
+    assert is_connected(graph)
+    assert set(dataset.aggregates) == {"degree", "description_length"}
+    assert dataset.aggregates["degree"] == pytest.approx(
+        2 * graph.number_of_edges() / 400
+    )
+
+
+def test_yelp_surrogate_attributes_and_lcc():
+    dataset = yelp_surrogate(nodes=300, m=4, seed=2)
+    graph = dataset.graph
+    assert is_connected(graph)
+    assert set(dataset.aggregates) == {"degree", "stars", "avg_path", "clustering"}
+    stars = graph.attribute_values("stars")
+    assert all(1.0 <= v <= 5.0 for v in stars.values())
+    # Yelp-style closure gives clustering well above a plain BA graph.
+    assert dataset.aggregates["clustering"] > 0.02
+
+
+def test_twitter_surrogate_mutual_reduction():
+    dataset = twitter_surrogate(nodes=300, m=6, seed=3)
+    graph = dataset.graph
+    assert is_connected(graph)
+    assert set(dataset.aggregates) == {
+        "in_degree",
+        "out_degree",
+        "avg_path",
+        "clustering",
+    }
+    # Mutual reduction only keeps reciprocated follows: the undirected
+    # degree cannot exceed the out-degree + in-degree of the profile.
+    for node in list(graph.nodes())[:50]:
+        in_d = graph.get_attribute("in_degree", node)
+        out_d = graph.get_attribute("out_degree", node)
+        assert graph.degree(node) <= in_d + out_d
+
+
+def test_exact_bias_graph_matches_paper_size():
+    dataset = exact_bias_graph(seed=4)
+    assert dataset.graph.number_of_nodes() == 1000
+    assert dataset.graph.number_of_edges() == 6951  # paper's exact figure
+
+
+def test_ba_synthetic_scaling():
+    dataset = ba_synthetic(nodes=500, m=5, seed=5)
+    assert dataset.graph.number_of_nodes() == 500
+    assert "degree" in dataset.aggregates
+
+
+def test_determinism_per_seed():
+    a = ba_synthetic(nodes=200, m=3, seed=7)
+    b = ba_synthetic(nodes=200, m=3, seed=7)
+    assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+    assert a.aggregates == b.aggregates
+
+
+def test_description_lengths_degree_correlated():
+    graph = barabasi_albert_graph(500, 4, seed=8).relabeled()
+    attach_description_lengths(graph, seed=9)
+    values = graph.attribute_values("description_length")
+    assert all(v >= 0 for v in values.values())
+    hubs = sorted(graph.nodes(), key=graph.degree, reverse=True)[:50]
+    leaves = sorted(graph.nodes(), key=graph.degree)[:50]
+    hub_mean = sum(values[n] for n in hubs) / 50
+    leaf_mean = sum(values[n] for n in leaves) / 50
+    assert hub_mean > leaf_mean
+
+
+def test_stars_rounded_to_halves():
+    graph = barabasi_albert_graph(200, 3, seed=10).relabeled()
+    attach_stars(graph, seed=11)
+    for value in graph.attribute_values("stars").values():
+        assert (value * 2) == int(value * 2)
+
+
+def test_topological_attributes_match_structure():
+    graph = barabasi_albert_graph(120, 3, seed=12).relabeled()
+    attach_topological_attributes(graph, seed=13, with_paths=True)
+    for node in list(graph.nodes())[:30]:
+        assert graph.get_attribute("degree", node) == graph.degree(node)
+    assert graph.attribute_mean("avg_path") > 1.0

@@ -1,0 +1,95 @@
+"""AVG estimators: arithmetic vs importance-weighted (paper §7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.aggregates import (
+    attribute_average_estimate,
+    average_estimate,
+    importance_weighted_mean,
+    plain_mean,
+)
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.api import SocialNetworkAPI
+from repro.rng import ensure_rng
+from repro.walks.samplers import SampleBatch
+
+
+def test_plain_mean():
+    assert plain_mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(EstimationError):
+        plain_mean([])
+
+
+def test_importance_weighted_mean_formula():
+    # Two samples with weights 1 and 2: mean = (v1/1 + v2/2) / (1 + 1/2).
+    result = importance_weighted_mean([10.0, 20.0], [1.0, 2.0])
+    assert result == pytest.approx((10.0 + 10.0) / 1.5)
+
+
+def test_importance_weighted_mean_validations():
+    with pytest.raises(EstimationError):
+        importance_weighted_mean([], [])
+    with pytest.raises(EstimationError):
+        importance_weighted_mean([1.0], [1.0, 2.0])
+    with pytest.raises(EstimationError):
+        importance_weighted_mean([1.0], [0.0])
+
+
+def test_harmonic_mean_special_case():
+    # For values == weights == degrees, the weighted mean is the harmonic
+    # mean — the paper's avg-degree estimator for SRW samples.
+    degrees = [2.0, 4.0, 8.0]
+    expected = len(degrees) / sum(1.0 / d for d in degrees)
+    assert importance_weighted_mean(degrees, degrees) == pytest.approx(expected)
+
+
+def test_average_estimate_picks_estimator_by_weights():
+    uniform_batch = SampleBatch(nodes=[0, 1], target_weights=[1.0, 1.0])
+    assert average_estimate(uniform_batch, [2.0, 4.0]) == 3.0
+    skewed_batch = SampleBatch(nodes=[0, 1], target_weights=[1.0, 3.0])
+    assert average_estimate(skewed_batch, [2.0, 4.0]) != 3.0
+
+
+def test_average_estimate_validations():
+    batch = SampleBatch(nodes=[0], target_weights=[1.0])
+    with pytest.raises(EstimationError):
+        average_estimate(SampleBatch(), [])
+    with pytest.raises(EstimationError):
+        average_estimate(batch, [1.0, 2.0])
+
+
+def test_degree_weighted_sampling_debiased_end_to_end():
+    """Statistical law check for the §7.1 estimator choice.
+
+    Draw nodes exactly degree-proportionally (the SRW target), estimate the
+    average degree with the importance-weighted estimator, and compare to
+    the plain mean: the weighted estimate must converge to the true mean,
+    the naive mean must stay biased high.
+    """
+    graph = barabasi_albert_graph(300, 3, seed=2).relabeled()
+    rng = ensure_rng(3)
+    degrees = np.array([graph.degree(v) for v in graph.nodes()], dtype=float)
+    truth = degrees.mean()
+    probabilities = degrees / degrees.sum()
+    sample = rng.choice(len(degrees), size=4000, p=probabilities)
+    values = degrees[sample]
+    weights = degrees[sample]
+    weighted = importance_weighted_mean(values, weights)
+    naive = plain_mean(values)
+    assert abs(weighted - truth) / truth < 0.05
+    assert naive > truth * 1.3  # size-biased mean is way off
+
+
+def test_attribute_average_estimate_via_api():
+    graph = barabasi_albert_graph(50, 3, seed=5).relabeled()
+    graph.set_attribute("x", {n: float(n) for n in graph.nodes()})
+    api = SocialNetworkAPI(graph)
+    batch = SampleBatch(nodes=[1, 2, 3], target_weights=[1.0, 1.0, 1.0])
+    assert attribute_average_estimate(api, batch, "x") == 2.0
+    # Degree aggregation path (attribute=None).
+    expected = np.mean([graph.degree(v) for v in (1, 2, 3)])
+    assert attribute_average_estimate(api, batch, None) == pytest.approx(expected)
+    with pytest.raises(EstimationError):
+        attribute_average_estimate(api, SampleBatch(), "x")

@@ -1,0 +1,77 @@
+"""Figure 12's sampling-distribution comparison builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.distribution import sampling_distribution_comparison
+from repro.graphs.generators import barabasi_albert_graph
+from repro.rng import ensure_rng
+
+
+@pytest.fixture
+def setup():
+    graph = barabasi_albert_graph(40, 3, seed=9).relabeled()
+    degrees = np.array([graph.degree(v) for v in graph.nodes()], dtype=float)
+    target = degrees / degrees.sum()
+    return graph, target
+
+
+def test_node_order_is_degree_descending(setup):
+    graph, target = setup
+    comparison = sampling_distribution_comparison(
+        graph, target, {"S": [0, 1, 2, 3]}
+    )
+    degrees = [graph.degree(v) for v in comparison.node_order]
+    assert degrees == sorted(degrees, reverse=True)
+    assert len(comparison.node_order) == 40
+
+
+def test_target_pdf_reordered_consistently(setup):
+    graph, target = setup
+    comparison = sampling_distribution_comparison(graph, target, {"S": [0]})
+    for position, node in enumerate(comparison.node_order):
+        assert comparison.target_pdf[position] == target[node]
+
+
+def test_sampled_pdf_and_biases(setup):
+    graph, target = setup
+    rng = ensure_rng(4)
+    nodes = list(rng.choice(40, size=20000, p=target))
+    comparison = sampling_distribution_comparison(graph, target, {"good": nodes})
+    assert comparison.sampled_pdfs["good"].sum() == pytest.approx(1.0)
+    # A faithful sampler scores a tiny bias.
+    assert comparison.biases["good"]["linf"] < 0.02
+    assert comparison.biases["good"]["kl"] < 0.05
+
+
+def test_cdf_monotone_and_normalized(setup):
+    graph, target = setup
+    comparison = sampling_distribution_comparison(graph, target, {"S": [0, 5]})
+    for label in (None, "S"):
+        cdf = comparison.cdf(label)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+
+
+def test_shape_mismatch_rejected(setup):
+    graph, _ = setup
+    with pytest.raises(EstimationError):
+        sampling_distribution_comparison(graph, np.full(10, 0.1), {"S": [0]})
+
+
+def test_biased_sampler_scores_worse(setup):
+    graph, target = setup
+    rng = ensure_rng(5)
+    faithful = list(rng.choice(40, size=5000, p=target))
+    hub_only = [int(np.argmax(target))] * 5000
+    comparison = sampling_distribution_comparison(
+        graph, target, {"faithful": faithful, "hub": hub_only}
+    )
+    assert (
+        comparison.biases["hub"]["kl"] > comparison.biases["faithful"]["kl"]
+    )
+    assert (
+        comparison.biases["hub"]["linf"]
+        > comparison.biases["faithful"]["linf"]
+    )

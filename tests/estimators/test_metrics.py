@@ -1,0 +1,67 @@
+"""Relative error, empirical distributions, bias metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.metrics import (
+    bias_report,
+    empirical_distribution,
+    kl_bias,
+    l_infinity_bias,
+    relative_error,
+    total_variation_bias,
+)
+
+
+def test_relative_error_basic():
+    assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+    assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+    assert relative_error(-50.0, -100.0) == pytest.approx(0.5)
+    with pytest.raises(EstimationError):
+        relative_error(1.0, 0.0)
+
+
+def test_empirical_distribution_counts():
+    pdf = empirical_distribution([0, 0, 1, 2], 4)
+    assert np.allclose(pdf, [0.5, 0.25, 0.25, 0.0])
+    assert pdf.sum() == pytest.approx(1.0)
+
+
+def test_empirical_distribution_validations():
+    with pytest.raises(EstimationError):
+        empirical_distribution([], 3)
+    with pytest.raises(EstimationError):
+        empirical_distribution([5], 3)
+    with pytest.raises(EstimationError):
+        empirical_distribution([-1], 3)
+
+
+def test_bias_metrics_against_uniform():
+    sampled = np.array([0.5, 0.5, 0.0, 0.0])
+    target = np.full(4, 0.25)
+    assert l_infinity_bias(sampled, target) == pytest.approx(0.25)
+    assert total_variation_bias(sampled, target) == pytest.approx(0.5)
+    assert kl_bias(sampled, target) == pytest.approx(np.log(2))
+    report = bias_report(sampled, target)
+    assert set(report) == {"linf", "kl", "tv"}
+    assert report["linf"] == pytest.approx(0.25)
+
+
+def test_perfect_sample_zero_bias():
+    target = np.array([0.4, 0.3, 0.2, 0.1])
+    report = bias_report(target.copy(), target)
+    assert report["linf"] == 0.0
+    assert report["tv"] == 0.0
+    assert report["kl"] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_more_samples_reduce_empirical_bias(rng):
+    target = np.array([0.4, 0.3, 0.2, 0.1])
+    small = empirical_distribution(
+        list(rng.choice(4, size=50, p=target)), 4
+    )
+    large = empirical_distribution(
+        list(rng.choice(4, size=50000, p=target)), 4
+    )
+    assert l_infinity_bias(large, target) < l_infinity_bias(small, target)

@@ -1,0 +1,99 @@
+"""Smoke runs of the cheap experiments (the heavy ones run as benchmarks).
+
+These assert structural invariants of each experiment's output — the right
+panels, series labels, and basic sanity of the numbers — on workloads small
+enough for the unit-test suite.  Full-size quick/full runs live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure1, figure2, figure3, figure5
+from repro.experiments.extras import backward_variance, long_run
+
+
+def test_figure2_panels_and_models():
+    result = figure2(scale="quick", seed=1)
+    (series_list,) = result.panels.values()
+    labels = {s.label for s in series_list}
+    assert labels == {"barbell", "cycle", "hypercube", "tree", "barabasi"}
+    barabasi = next(s for s in series_list if s.label == "barabasi")
+    finite = [y for y in barabasi.y if y != float("inf")]
+    assert finite, "BA curve must have finite cost points"
+
+
+def test_figure3_savings_in_percent():
+    result = figure3(scale="quick", seed=1)
+    (series_list,) = result.panels.values()
+    for series in series_list:
+        assert all(y <= 100.0 for y in series.y)
+    barbell = next(s for s in series_list if s.label == "barbell")
+    assert barbell.y == sorted(barbell.y)  # rises with size
+
+
+def test_figure5_we_cost_grows_with_diameter():
+    result = figure5(scale="quick", seed=2)
+    (series_list,) = result.panels.values()
+    we = next(s for s in series_list if s.label == "WE")
+    srw = next(s for s in series_list if s.label == "SRW")
+    # WE's cost at the largest diameter dwarfs its smallest-diameter cost;
+    # the monitored SRW stays flat (the convergence-monitor blind spot).
+    assert we.y[-1] > 2 * we.y[0]
+    assert max(srw.y) < 2 * min(srw.y) + 1e-9
+
+
+def test_figure1_minimum_positive_after_diameter():
+    result = figure1(scale="quick", seed=31)
+    (series_list,) = result.panels.values()
+    min_series = next(s for s in series_list if s.label == "Min Prob")
+    # Early walk: zero minimum (unreached nodes); later: positive.
+    assert min_series.y[0] == 0.0
+    assert min_series.y[-1] > 0.0
+
+
+def test_backward_variance_table_rows():
+    result = backward_variance(scale="quick", seed=3)
+    (table,) = result.tables.values()
+    assert len(table.rows) == 4
+    by_name = {row[0]: row for row in table.rows}
+    plain_std = by_name["UNBIASED-ESTIMATE"][2]
+    crawl_std = by_name["crawl-assisted"][2]
+    # Heuristic #1 must visibly shrink the spread.
+    assert crawl_std < plain_std
+
+
+def test_long_run_table_shows_ess_collapse():
+    result = long_run(scale="quick", seed=4)
+    (table,) = result.tables.values()
+    by_name = {row[0]: row for row in table.rows}
+    short_ess = by_name["many short runs"][2]
+    long_ess = by_name["one long run"][2]
+    assert long_ess < short_ess  # correlated samples are worth less
+    # One long run amortizes burn-in: far cheaper in queries.
+    assert by_name["one long run"][4] < by_name["many short runs"][4]
+
+
+def test_crawl_baselines_walks_beat_crawls():
+    from repro.experiments.extras import crawl_baselines
+
+    result = crawl_baselines(scale="quick", seed=5)
+    (table,) = result.tables.values()
+    errors = {row[0]: row[1] for row in table.rows}
+    crawl_best = min(errors["BFS"], errors["DFS"], errors["snowball(3)"])
+    walk_best = min(errors["SRW burn-in"], errors["WE"])
+    assert walk_best < crawl_best
+
+
+def test_we_long_run_matches_target_law():
+    from repro.experiments.extras import we_long_run
+
+    result = we_long_run(scale="quick", seed=6)
+    (table,) = result.tables.values()
+    rows = {row[0]: row for row in table.rows}
+    # All three schemes stay in the small-bias regime; the corrected long
+    # run is not worse than the classical one.
+    for label, row in rows.items():
+        assert row[1] < 0.05, label  # l_inf
+    assert (
+        rows["WE one long run"][1] <= rows["one long run (classical)"][1] + 0.01
+    )

@@ -1,0 +1,74 @@
+"""Experiment registry and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ExperimentError
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+
+def test_registry_covers_every_paper_artifact():
+    figures = {f"figure{i}" for i in (1, 2, 3, 5, 6, 7, 8, 9, 10, 11, 12)}
+    assert figures <= set(EXPERIMENTS)
+    assert "table1" in EXPERIMENTS
+    extras = {"backward_variance", "restrictions", "long_run", "scale_factor"}
+    assert extras <= set(EXPERIMENTS)
+
+
+def test_get_experiment_unknown_id():
+    with pytest.raises(ExperimentError):
+        get_experiment("figure99")
+
+
+def test_run_experiment_cheap_figure():
+    result = run_experiment("figure1", scale="quick", seed=11)
+    assert result.experiment_id == "figure1"
+    (series_list,) = result.panels.values()
+    assert {s.label for s in series_list} == {"Max Prob", "Min Prob"}
+    max_series = next(s for s in series_list if s.label == "Max Prob")
+    # The motivating observation: max probability collapses early.
+    assert max_series.y[0] > max_series.y[-1]
+
+
+def test_run_experiment_rejects_bad_scale():
+    with pytest.raises(ExperimentError):
+        run_experiment("figure1", scale="huge")
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure6" in out
+    assert "table1" in out
+
+
+def test_cli_run_writes_csv(tmp_path, capsys):
+    csv_path = tmp_path / "out.csv"
+    code = main(["run", "figure1", "--seed", "5", "--csv", str(csv_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "figure1" in out
+    content = csv_path.read_text(encoding="utf-8")
+    assert "Max Prob" in content
+
+
+def test_cli_datasets_command(capsys):
+    assert main(["datasets", "--name", "exact_bias", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "exact_bias" in out
+    assert "power-law alpha" in out
+    assert "AVG degree" in out
+
+
+def test_cli_version_exits_zero():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+
+
+def test_parser_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["run", "figure2"])
+    assert args.scale == "quick"
+    assert args.seed is None
+    assert args.csv is None

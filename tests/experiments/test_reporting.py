@@ -1,0 +1,65 @@
+"""Text/CSV rendering of experiment results."""
+
+import csv
+import io
+
+from repro.experiments.reporting import render_result, render_table, result_to_csv
+from repro.experiments.runner import ExperimentResult, Series, TableData
+
+
+def make_result():
+    result = ExperimentResult(
+        experiment_id="demo",
+        title="Demo experiment",
+        x_label="budget",
+        y_label="error",
+        notes=["a note"],
+    )
+    a = Series(label="SRW")
+    a.add(100, 0.5)
+    a.add(200, 0.25)
+    b = Series(label="WE")
+    b.add(100, 0.3)
+    result.panel("panel one").extend([a, b])
+    table = TableData(columns=["k", "v"], rows=[["x", 1.5], ["y", float("inf")]])
+    result.tables["numbers"] = table
+    return result
+
+
+def test_render_contains_everything():
+    text = render_result(make_result())
+    assert "demo: Demo experiment" in text
+    assert "a note" in text
+    assert "panel one" in text
+    assert "SRW" in text and "WE" in text
+    assert "budget" in text and "error" in text
+    assert "numbers" in text
+
+
+def test_render_marks_missing_points():
+    # WE has no point at x=200; the grid shows '-' there.
+    text = render_result(make_result())
+    row_200 = next(line for line in text.splitlines() if line.strip().startswith("200"))
+    assert "-" in row_200
+
+
+def test_render_table_formats_special_floats():
+    table = TableData(
+        columns=["name", "value"],
+        rows=[["inf", float("inf")], ["nan", float("nan")], ["tiny", 1e-7]],
+    )
+    text = render_table(table)
+    assert "inf" in text
+    assert "nan" in text
+    assert "e-07" in text
+
+
+def test_csv_roundtrip():
+    csv_text = result_to_csv(make_result())
+    rows = list(csv.reader(io.StringIO(csv_text)))
+    header = rows[0]
+    assert header == ["experiment", "panel", "series", "budget", "error"]
+    data_rows = [r for r in rows[1:] if len(r) == 5 and r[0] == "demo" and r[1] == "panel one"]
+    assert len(data_rows) == 3  # 2 SRW points + 1 WE point
+    # Table rows come after a blank separator.
+    assert any(r[:2] == ["demo", "numbers"] for r in rows if len(r) >= 2)

@@ -1,0 +1,94 @@
+"""Experiment harness: curve builders, result records."""
+
+import pytest
+
+from repro.datasets.synthetic import ba_synthetic
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    ExperimentResult,
+    SamplerSpec,
+    Series,
+    collect_samples,
+    error_vs_cost,
+    error_vs_samples,
+    pick_starts,
+)
+from repro.walks.samplers import BurnInSampler
+from repro.walks.transitions import SimpleRandomWalk
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return ba_synthetic(nodes=250, m=4, seed=20)
+
+
+@pytest.fixture
+def spec():
+    return SamplerSpec(
+        "SRW",
+        lambda: BurnInSampler(SimpleRandomWalk(), min_steps=30, max_steps=120),
+    )
+
+
+def test_series_add():
+    series = Series(label="x")
+    series.add(1, 0.5)
+    series.add(2, 0.25)
+    assert series.x == [1.0, 2.0]
+    assert series.y == [0.5, 0.25]
+
+
+def test_experiment_result_panel_creation():
+    result = ExperimentResult("id", "title", "x", "y")
+    panel = result.panel("p")
+    panel.append(Series(label="s"))
+    assert result.panels["p"][0].label == "s"
+    assert result.panel("p") is panel
+
+
+def test_pick_starts_deterministic(dataset):
+    a = pick_starts(dataset, 5, seed=1)
+    b = pick_starts(dataset, 5, seed=1)
+    assert a == b
+    assert all(dataset.graph.has_node(s) for s in a)
+
+
+def test_error_vs_cost_shape(dataset, spec):
+    series = error_vs_cost(
+        dataset, [spec], "degree", budgets=[60, 120], repetitions=2, seed=3
+    )
+    assert len(series) == 1
+    assert series[0].x == [60.0, 120.0]
+    assert all(e >= 0 for e in series[0].y)
+
+
+def test_error_vs_cost_unknown_attribute(dataset, spec):
+    with pytest.raises(ExperimentError):
+        error_vs_cost(dataset, [spec], "nope", [50], 1, seed=1)
+    with pytest.raises(ExperimentError):
+        error_vs_cost(dataset, [spec], "degree", [50], 0, seed=1)
+
+
+def test_error_vs_samples_checkpoints(dataset, spec):
+    series = error_vs_samples(
+        dataset, [spec], "degree", checkpoints=[5, 10], repetitions=2, seed=4
+    )
+    assert series[0].x == [5.0, 10.0]
+    with pytest.raises(ExperimentError):
+        error_vs_samples(dataset, [spec], "degree", [], 1, seed=1)
+
+
+def test_collect_samples_gathers_total(dataset, spec):
+    nodes = collect_samples(dataset, spec, total=25, per_run=10, seed=5, start=0)
+    assert len(nodes) == 25
+    assert all(dataset.graph.has_node(n) for n in nodes)
+    with pytest.raises(ExperimentError):
+        collect_samples(dataset, spec, total=0, per_run=10, seed=5)
+
+
+def test_tiny_budget_counts_as_worst_case_error(dataset, spec):
+    # Budget too small for even one sample -> error pinned at 1.0.
+    series = error_vs_cost(
+        dataset, [spec], "degree", budgets=[2], repetitions=2, seed=6
+    )
+    assert series[0].y[0] == 1.0

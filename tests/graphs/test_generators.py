@@ -1,0 +1,170 @@
+"""Generator shape guarantees (sizes, degrees, diameters the paper quotes)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.generators import (
+    balanced_tree_graph,
+    barabasi_albert_graph,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    directed_preferential_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    regular_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.properties import diameter, is_connected
+
+
+def test_cycle_shape():
+    g = cycle_graph(10)
+    assert g.number_of_nodes() == 10
+    assert g.number_of_edges() == 10
+    assert all(g.degree(v) == 2 for v in g.nodes())
+    assert diameter(g) == 5
+
+
+def test_cycle_minimum_size():
+    with pytest.raises(ConfigurationError):
+        cycle_graph(2)
+
+
+def test_complete_graph():
+    g = complete_graph(6)
+    assert g.number_of_edges() == 15
+    assert all(g.degree(v) == 5 for v in g.nodes())
+    assert diameter(g) == 1
+
+
+def test_hypercube_shape():
+    # Paper: 2^k nodes, 2^(k-1) * k edges, diameter k, k-regular.
+    g = hypercube_graph(4)
+    assert g.number_of_nodes() == 16
+    assert g.number_of_edges() == 32
+    assert all(g.degree(v) == 4 for v in g.nodes())
+    assert diameter(g) == 4
+
+
+def test_barbell_structure():
+    # Two cliques of (n-1)/2 joined through a central node (paper §4.2).
+    g = barbell_graph(11)
+    assert g.number_of_nodes() == 11
+    center = 10
+    assert g.degree(center) == 2
+    # Gateway-to-gateway through the center: the construction's diameter
+    # is 4 (the paper states 3; see DESIGN.md note).
+    assert diameter(g) == 4
+    assert is_connected(g)
+
+
+def test_barbell_requires_odd():
+    with pytest.raises(ConfigurationError):
+        barbell_graph(10)
+    with pytest.raises(ConfigurationError):
+        barbell_graph(3)
+
+
+def test_balanced_tree_shape():
+    # Height h: 2^(h+1) - 1 nodes, diameter 2h (paper §4.2).
+    g = balanced_tree_graph(3)
+    assert g.number_of_nodes() == 15
+    assert g.number_of_edges() == 14
+    assert diameter(g) == 6
+
+
+def test_balanced_tree_height_zero():
+    g = balanced_tree_graph(0)
+    assert g.number_of_nodes() == 1
+    assert g.number_of_edges() == 0
+
+
+def test_star_shape():
+    g = star_graph(7)
+    assert g.degree(0) == 6
+    assert diameter(g) == 2
+
+
+def test_grid_shape():
+    g = grid_graph(3, 4)
+    assert g.number_of_nodes() == 12
+    assert g.number_of_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+    assert diameter(g) == 5
+
+
+def test_regular_graph_is_regular():
+    g = regular_graph(20, 4, seed=3)
+    assert all(g.degree(v) == 4 for v in g.nodes())
+    assert g.number_of_edges() == 40
+
+
+def test_regular_graph_infeasible():
+    with pytest.raises(ConfigurationError):
+        regular_graph(5, 3, seed=1)  # n*k odd
+    with pytest.raises(ConfigurationError):
+        regular_graph(4, 4, seed=1)  # k >= n
+
+
+def test_erdos_renyi_bounds():
+    empty = erdos_renyi_graph(20, 0.0, seed=1)
+    assert empty.number_of_edges() == 0
+    full = erdos_renyi_graph(10, 1.0, seed=1)
+    assert full.number_of_edges() == 45
+    with pytest.raises(ConfigurationError):
+        erdos_renyi_graph(10, 1.5, seed=1)
+
+
+def test_watts_strogatz_preserves_edge_count():
+    g = watts_strogatz_graph(30, 4, 0.3, seed=2)
+    assert g.number_of_nodes() == 30
+    assert g.number_of_edges() == 60  # n * k / 2, rewiring preserves count
+    with pytest.raises(ConfigurationError):
+        watts_strogatz_graph(30, 3, 0.3, seed=2)  # odd k
+
+
+def test_barabasi_albert_edge_count():
+    # m initial star edges + m per subsequent node = m * (n - m).
+    g = barabasi_albert_graph(100, 3, seed=9)
+    assert g.number_of_nodes() == 100
+    assert g.number_of_edges() == 3 * 97
+    assert g.min_degree() >= 3 or g.degree(0) >= 3
+    assert is_connected(g)
+
+
+def test_barabasi_albert_paper_exact_bias_size():
+    # The paper's 1000-node / 6951-edge graph is exactly BA(1000, 7).
+    g = barabasi_albert_graph(1000, 7, seed=0)
+    assert g.number_of_edges() == 6951
+
+
+def test_barabasi_albert_determinism():
+    a = barabasi_albert_graph(50, 2, seed=11)
+    b = barabasi_albert_graph(50, 2, seed=11)
+    assert sorted(a.edges()) == sorted(b.edges())
+
+
+def test_barabasi_albert_heavy_tail():
+    g = barabasi_albert_graph(400, 3, seed=5)
+    degrees = sorted((g.degree(v) for v in g.nodes()), reverse=True)
+    # The hub should dominate the median degree by a wide margin.
+    assert degrees[0] > 5 * degrees[len(degrees) // 2]
+
+
+def test_barabasi_albert_rejects_bad_m():
+    with pytest.raises(ConfigurationError):
+        barabasi_albert_graph(5, 0)
+    with pytest.raises(ConfigurationError):
+        barabasi_albert_graph(5, 5)
+
+
+def test_directed_preferential_edges_are_directed_pairs():
+    edges = directed_preferential_graph(50, 3, seed=4)
+    assert all(isinstance(u, int) and isinstance(v, int) for u, v in edges)
+    assert all(u != v for u, v in edges)
+    # Reciprocity exists but is partial (the mutual-reduction has work to do).
+    edge_set = set(edges)
+    mutual = sum(1 for u, v in edge_set if (v, u) in edge_set)
+    assert 0 < mutual < 2 * len(edge_set)

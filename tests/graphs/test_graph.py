@@ -1,0 +1,156 @@
+"""Graph data-structure invariants."""
+
+import pytest
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graphs.graph import Graph
+
+
+def test_empty_graph():
+    g = Graph()
+    assert g.number_of_nodes() == 0
+    assert g.number_of_edges() == 0
+    assert g.nodes() == ()
+    assert len(g) == 0
+    assert g.max_degree() == 0
+    assert g.min_degree() == 0
+
+
+def test_add_edge_creates_endpoints():
+    g = Graph()
+    g.add_edge(1, 5)
+    assert g.has_node(1) and g.has_node(5)
+    assert g.has_edge(1, 5) and g.has_edge(5, 1)
+    assert g.number_of_edges() == 1
+
+
+def test_duplicate_edges_ignored():
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_edge(1, 0)
+    g.add_edge(0, 1)
+    assert g.number_of_edges() == 1
+    assert g.degree(0) == 1
+
+
+def test_self_loop_rejected():
+    g = Graph()
+    with pytest.raises(GraphError):
+        g.add_edge(3, 3)
+
+
+def test_neighbors_sorted_and_cached(triangle):
+    assert triangle.neighbors(0) == (1, 2)
+    # Mutation invalidates the cached tuple.
+    triangle.add_edge(0, 5)
+    assert triangle.neighbors(0) == (1, 2, 5)
+
+
+def test_neighbors_unknown_node(triangle):
+    with pytest.raises(NodeNotFoundError):
+        triangle.neighbors(99)
+    with pytest.raises(NodeNotFoundError):
+        triangle.degree(99)
+
+
+def test_degree_and_degrees(star5):
+    assert star5.degree(0) == 4
+    assert star5.degree(1) == 1
+    assert star5.degrees() == {0: 4, 1: 1, 2: 1, 3: 1, 4: 1}
+    assert star5.max_degree() == 4
+    assert star5.min_degree() == 1
+
+
+def test_edges_iterates_each_edge_once(triangle):
+    assert sorted(triangle.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+
+def test_remove_edge(triangle):
+    triangle.remove_edge(0, 1)
+    assert not triangle.has_edge(0, 1)
+    assert triangle.number_of_edges() == 2
+    with pytest.raises(GraphError):
+        triangle.remove_edge(0, 1)
+
+
+def test_remove_node_drops_incident_edges(star5):
+    star5.remove_node(0)
+    assert star5.number_of_edges() == 0
+    assert star5.number_of_nodes() == 4
+    with pytest.raises(NodeNotFoundError):
+        star5.remove_node(0)
+
+
+def test_contains_and_len(triangle):
+    assert 0 in triangle
+    assert 9 not in triangle
+    assert len(triangle) == 3
+
+
+def test_attributes_roundtrip(triangle):
+    triangle.set_attribute("score", {0: 1.0, 1: 2.0, 2: 3.0})
+    assert triangle.get_attribute("score", 1) == 2.0
+    assert triangle.attribute_names() == ("score",)
+    assert triangle.attribute_mean("score") == pytest.approx(2.0)
+
+
+def test_attribute_on_unknown_node_rejected(triangle):
+    with pytest.raises(NodeNotFoundError):
+        triangle.set_attribute("x", {42: 1.0})
+
+
+def test_partial_attribute_mean_rejected(triangle):
+    triangle.set_attribute("partial", {0: 1.0})
+    with pytest.raises(GraphError):
+        triangle.attribute_mean("partial")
+
+
+def test_get_undefined_attribute(triangle):
+    with pytest.raises(GraphError):
+        triangle.get_attribute("nope", 0)
+    with pytest.raises(GraphError):
+        triangle.attribute_values("nope")
+
+
+def test_copy_is_deep(triangle):
+    triangle.set_attribute("w", {0: 1.0, 1: 1.0, 2: 1.0})
+    clone = triangle.copy()
+    clone.add_edge(0, 7)
+    assert not triangle.has_node(7)
+    assert clone.get_attribute("w", 0) == 1.0
+
+
+def test_subgraph_restricts_structure_and_attributes(star5):
+    star5.set_attribute("v", {n: float(n) for n in star5.nodes()})
+    sub = star5.subgraph([0, 1, 2])
+    assert sub.number_of_nodes() == 3
+    assert sub.number_of_edges() == 2
+    assert sub.get_attribute("v", 2) == 2.0
+    with pytest.raises(NodeNotFoundError):
+        star5.subgraph([0, 99])
+
+
+def test_relabeled_contiguous():
+    g = Graph()
+    g.add_edge(10, 30)
+    g.add_edge(30, 20)
+    g.set_attribute("a", {10: 1.0, 20: 2.0, 30: 3.0})
+    r = g.relabeled()
+    assert r.nodes() == (0, 1, 2)
+    assert r.number_of_edges() == 2
+    # 10 -> 0, 20 -> 1, 30 -> 2 (sorted order)
+    assert r.get_attribute("a", 0) == 1.0
+    assert r.has_edge(0, 2) and r.has_edge(1, 2)
+
+
+def test_remove_node_cleans_attributes():
+    g = Graph()
+    g.add_edge(0, 1)
+    g.set_attribute("a", {0: 1.0, 1: 2.0})
+    g.remove_node(0)
+    assert g.attribute_values("a") == {1: 2.0}
+
+
+def test_repr_mentions_counts(triangle):
+    text = repr(triangle)
+    assert "nodes=3" in text and "edges=3" in text

@@ -1,0 +1,87 @@
+"""Edge-list I/O and NetworkX conversion round-trips."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.convert import from_networkx, to_networkx
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.graph import Graph
+from repro.graphs.io import load_edge_list, save_edge_list
+
+
+def test_edge_list_roundtrip(tmp_path):
+    g = barabasi_albert_graph(40, 2, seed=1)
+    g.set_attribute("score", {n: float(n) for n in g.nodes()})
+    path = tmp_path / "graph.txt"
+    save_edge_list(g, path)
+    loaded = load_edge_list(path)
+    assert sorted(loaded.edges()) == sorted(g.edges())
+    assert loaded.get_attribute("score", 7) == 7.0
+
+
+def test_edge_list_preserves_isolated_nodes(tmp_path):
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_node(5)
+    path = tmp_path / "iso.txt"
+    save_edge_list(g, path)
+    loaded = load_edge_list(path)
+    assert loaded.has_node(5)
+    assert loaded.number_of_nodes() == 3
+
+
+def test_load_raw_snap_format(tmp_path):
+    path = tmp_path / "snap.txt"
+    path.write_text("# comment\n0 1\n1 2\n2 2\n", encoding="utf-8")
+    g = load_edge_list(path)
+    assert g.number_of_edges() == 2  # the self-loop 2-2 is dropped
+
+
+def test_load_malformed_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1 2\n", encoding="utf-8")
+    with pytest.raises(GraphError):
+        load_edge_list(path)
+    path.write_text("a b\n", encoding="utf-8")
+    with pytest.raises(GraphError):
+        load_edge_list(path)
+
+
+def test_load_missing_file():
+    with pytest.raises(GraphError):
+        load_edge_list("/nonexistent/file.txt")
+
+
+def test_networkx_roundtrip():
+    g = barabasi_albert_graph(25, 3, seed=4)
+    g.set_attribute("w", {n: 2.0 * n for n in g.nodes()})
+    nx_graph = to_networkx(g)
+    assert nx_graph.number_of_edges() == g.number_of_edges()
+    back = from_networkx(nx_graph)
+    assert sorted(back.edges()) == sorted(g.edges())
+    assert back.get_attribute("w", 3) == 6.0
+
+
+def test_from_networkx_rejects_directed():
+    with pytest.raises(GraphError):
+        from_networkx(nx.DiGraph([(0, 1)]))
+
+
+def test_from_networkx_rejects_non_int_labels():
+    with pytest.raises(GraphError):
+        from_networkx(nx.Graph([("a", "b")]))
+
+
+def test_from_networkx_rejects_self_loop():
+    g = nx.Graph()
+    g.add_edge(0, 0)
+    with pytest.raises(GraphError):
+        from_networkx(g)
+
+
+def test_cross_validate_degrees_with_networkx():
+    g = barabasi_albert_graph(60, 3, seed=8)
+    nx_graph = to_networkx(g)
+    for node in g.nodes():
+        assert g.degree(node) == nx_graph.degree(node)

@@ -1,0 +1,117 @@
+"""Distributional statistics: power-law fit, assortativity, Gini, summary."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    regular_graph,
+    star_graph,
+)
+from repro.graphs.statistics import (
+    degree_assortativity,
+    gini_coefficient,
+    power_law_alpha,
+    summarize,
+)
+
+
+def test_power_law_alpha_on_ba_near_three():
+    graph = barabasi_albert_graph(3000, 4, seed=1).relabeled()
+    alpha = power_law_alpha(graph, d_min=4)
+    # BA's theoretical exponent is 3; MLE on finite graphs lands nearby.
+    assert 2.3 < alpha < 3.8
+
+
+def test_power_law_alpha_regular_graph_extreme():
+    # A regular graph has no tail beyond its constant degree: with d_min at
+    # the support, the estimator diverges upward — the correct
+    # "not heavy-tailed" signal.  (d_min must sit at the distribution's
+    # lower support for the CSN estimator to be meaningful.)
+    graph = regular_graph(100, 6, seed=2)
+    alpha = power_law_alpha(graph, d_min=6)
+    assert alpha > 8.0
+
+
+def test_power_law_alpha_validations():
+    graph = cycle_graph(10)
+    with pytest.raises(GraphError):
+        power_law_alpha(graph, d_min=0)
+    with pytest.raises(GraphError):
+        power_law_alpha(graph, d_min=5)  # no node has degree 5
+
+
+def test_assortativity_star_is_negative():
+    # Star: hub (high degree) only connects to leaves (degree 1).
+    assert degree_assortativity(star_graph(20)) < -0.9
+
+
+def test_assortativity_regular_zero():
+    assert degree_assortativity(cycle_graph(12)) == 0.0
+
+
+def test_assortativity_symmetric_in_edge_orientation():
+    graph = barabasi_albert_graph(200, 3, seed=3)
+    value = degree_assortativity(graph)
+    assert -1.0 <= value <= 1.0
+
+
+def test_assortativity_requires_edges():
+    from repro.graphs.graph import Graph
+
+    g = Graph()
+    g.add_node(0)
+    with pytest.raises(GraphError):
+        degree_assortativity(g)
+
+
+def test_gini_extremes():
+    assert gini_coefficient([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+    concentrated = gini_coefficient([0.0] * 99 + [100.0])
+    assert concentrated > 0.95
+    with pytest.raises(GraphError):
+        gini_coefficient([])
+    with pytest.raises(GraphError):
+        gini_coefficient([-1.0, 2.0])
+    assert gini_coefficient([0.0, 0.0]) == 0.0
+
+
+def test_gini_of_ba_exceeds_gini_of_er():
+    ba = barabasi_albert_graph(500, 3, seed=4)
+    ring = cycle_graph(500)
+    assert gini_coefficient(ba.degrees().values()) > gini_coefficient(
+        ring.degrees().values()
+    )
+
+
+def test_summarize_complete_fingerprint():
+    graph = barabasi_albert_graph(300, 3, seed=5).relabeled()
+    summary = summarize(graph, seed=1)
+    assert summary.nodes == 300
+    assert summary.edges == graph.number_of_edges()
+    assert summary.components == 1
+    assert summary.max_degree == graph.max_degree()
+    rows = dict(summary.as_rows())
+    assert rows["nodes"] == 300
+    assert "power-law alpha" in rows
+
+
+def test_summarize_rejects_empty():
+    from repro.graphs.graph import Graph
+
+    with pytest.raises(GraphError):
+        summarize(Graph())
+
+
+def test_surrogates_have_social_shape():
+    # The validation the statistics module exists for: the dataset
+    # surrogates must look like social graphs.
+    from repro.datasets import google_plus_surrogate
+
+    dataset = google_plus_surrogate(nodes=800, m=12, seed=6)
+    summary = summarize(dataset.graph, seed=2)
+    assert summary.degree_gini > 0.2       # heavy-tailed degrees
+    assert summary.diameter_estimate <= 8  # small world
+    assert summary.components == 1

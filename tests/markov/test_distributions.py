@@ -1,0 +1,85 @@
+"""Distribution evolution and distance measures."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import barabasi_albert_graph
+from repro.markov.distributions import (
+    kl_divergence,
+    l_infinity_distance,
+    step_distribution,
+    step_distributions,
+    total_variation_distance,
+)
+from repro.markov.matrix import TransitionMatrix
+from repro.walks.transitions import SimpleRandomWalk
+
+
+@pytest.fixture
+def matrix(small_ba):
+    return TransitionMatrix(small_ba, SimpleRandomWalk())
+
+
+def test_step_distributions_match_matrix_powers(matrix):
+    for t, p_t in step_distributions(matrix, start=0, max_t=6):
+        assert np.allclose(p_t, matrix.step_distribution(0, t))
+
+
+def test_step_distributions_rejects_negative(matrix):
+    with pytest.raises(ValueError):
+        list(step_distributions(matrix, 0, -1))
+
+
+def test_step_distribution_delegates(matrix):
+    assert np.allclose(
+        step_distribution(matrix, 0, 4), matrix.step_distribution(0, 4)
+    )
+
+
+def _uniform(n):
+    return np.full(n, 1.0 / n)
+
+
+def test_distances_zero_iff_equal():
+    p = _uniform(10)
+    assert l_infinity_distance(p, p) == 0.0
+    assert total_variation_distance(p, p) == 0.0
+    assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_distance_values_simple_case():
+    p = np.array([0.5, 0.5, 0.0, 0.0])
+    q = np.array([0.25, 0.25, 0.25, 0.25])
+    assert l_infinity_distance(p, q) == pytest.approx(0.25)
+    assert total_variation_distance(p, q) == pytest.approx(0.5)
+    assert kl_divergence(p, q) == pytest.approx(np.log(2))
+
+
+def test_kl_handles_empirical_zero_support():
+    # q missing mass where p has none is fine; p mass on q-zero is finite
+    # (epsilon floor) rather than inf, so Table 1 is computable empirically.
+    p = np.array([1.0, 0.0])
+    q = np.array([0.0, 1.0])
+    assert np.isfinite(kl_divergence(p, q))
+    assert kl_divergence(p, q) > 100  # enormous, as it should be
+
+
+def test_distances_validate_inputs():
+    p = _uniform(4)
+    with pytest.raises(ValueError):
+        l_infinity_distance(p, _uniform(5))
+    with pytest.raises(ValueError):
+        total_variation_distance(p, np.array([0.5, 0.5, 0.5, 0.5]) * 2)
+    with pytest.raises(ValueError):
+        kl_divergence(np.array([[0.5, 0.5]]), p)
+
+
+def test_tv_bounded_by_linf_times_n():
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        p = rng.dirichlet(np.ones(8))
+        q = rng.dirichlet(np.ones(8))
+        tv = total_variation_distance(p, q)
+        linf = l_infinity_distance(p, q)
+        assert linf <= 2 * tv + 1e-12
+        assert tv <= 8 * linf / 2 + 1e-12

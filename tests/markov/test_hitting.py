@@ -1,0 +1,125 @@
+"""Hitting and return times."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import barabasi_albert_graph, cycle_graph
+from repro.graphs.graph import Graph
+from repro.markov.hitting import (
+    expected_hitting_times,
+    expected_return_time,
+    mean_hitting_time_to_ball,
+)
+from repro.markov.matrix import TransitionMatrix
+from repro.rng import ensure_rng
+from repro.walks.transitions import LazyWalk, SimpleRandomWalk
+from repro.walks.walker import run_walk
+
+
+@pytest.fixture
+def ba_matrix(small_ba):
+    return TransitionMatrix(small_ba, SimpleRandomWalk())
+
+
+def test_hitting_time_zero_on_targets(ba_matrix):
+    times = expected_hitting_times(ba_matrix, targets=[0, 5])
+    assert times[0] == 0.0
+    assert times[5] == 0.0
+    assert np.all(times >= 0.0)
+
+
+def test_hitting_time_path_graph_closed_form():
+    # Path 0-1-2-3, target {0}: from node k the SRW hitting time of the
+    # left end is k*(2n-1-k) with n=4... verify against simulation instead
+    # of trusting a formula: exact solver vs Monte Carlo.
+    g = Graph()
+    g.add_edges_from([(0, 1), (1, 2), (2, 3)])
+    matrix = TransitionMatrix(g, SimpleRandomWalk())
+    times = expected_hitting_times(matrix, targets=[0])
+    rng = ensure_rng(3)
+    for start in (1, 2, 3):
+        samples = []
+        for _ in range(4000):
+            current = start
+            steps = 0
+            while current != 0:
+                current = SimpleRandomWalk().step(g, current, rng)
+                steps += 1
+            samples.append(steps)
+        assert np.mean(samples) == pytest.approx(times[start], rel=0.1)
+
+
+def test_hitting_validations(ba_matrix):
+    with pytest.raises(GraphError):
+        expected_hitting_times(ba_matrix, targets=[])
+    with pytest.raises(GraphError):
+        expected_hitting_times(ba_matrix, targets=[999])
+
+
+def test_all_states_target_gives_zero(ba_matrix):
+    times = expected_hitting_times(ba_matrix, targets=range(30))
+    assert np.all(times == 0.0)
+
+
+def test_return_time_kac_formula(ba_matrix, small_ba):
+    # pi(v) * E[return to v] = 1; for SRW pi ∝ degree.
+    degrees = {v: small_ba.degree(v) for v in small_ba.nodes()}
+    total = 2.0 * small_ba.number_of_edges()
+    for v in (0, 7, 19):
+        assert expected_return_time(ba_matrix, v) == pytest.approx(
+            total / degrees[v]
+        )
+    with pytest.raises(GraphError):
+        expected_return_time(ba_matrix, 999)
+
+
+def test_return_time_simulated(small_ba, ba_matrix, rng):
+    design = SimpleRandomWalk()
+    hub = max(small_ba.nodes(), key=small_ba.degree)
+    expected = expected_return_time(ba_matrix, hub)
+    returns = []
+    for _ in range(3000):
+        current = design.step(small_ba, hub, rng)
+        steps = 1
+        while current != hub:
+            current = design.step(small_ba, current, rng)
+            steps += 1
+        returns.append(steps)
+    assert np.mean(returns) == pytest.approx(expected, rel=0.1)
+
+
+def test_ball_hitting_time_grows_with_cycle_size():
+    # The §6.2 limitation quantified: the crawl zone gets harder to hit as
+    # the cycle grows (diffusive: ~diameter^2), while BA stays flat.
+    small = TransitionMatrix(
+        cycle_graph(11).relabeled(), LazyWalk(SimpleRandomWalk(), 0.05)
+    )
+    large = TransitionMatrix(
+        cycle_graph(41).relabeled(), LazyWalk(SimpleRandomWalk(), 0.05)
+    )
+    t_small = mean_hitting_time_to_ball(small, center=0, hops=2)
+    t_large = mean_hitting_time_to_ball(large, center=0, hops=2)
+    assert t_large > 5 * t_small
+
+
+def test_ball_hitting_small_on_ba(small_ba, ba_matrix):
+    time_to_ball = mean_hitting_time_to_ball(ba_matrix, center=0, hops=2)
+    assert time_to_ball < 10.0  # small-diameter graphs: a few steps
+
+
+def test_ball_hitting_with_explicit_starts(ba_matrix):
+    subset = mean_hitting_time_to_ball(ba_matrix, 0, 1, starts=[20, 25])
+    assert subset >= 0.0
+
+
+def test_unreachable_targets_are_infinite():
+    # Two disconnected triangles; hitting the other component never happens.
+    g = Graph()
+    g.add_edges_from([(0, 1), (1, 2), (2, 0)])
+    g.add_edges_from([(3, 4), (4, 5), (5, 3)])
+    matrix = TransitionMatrix(g, SimpleRandomWalk())
+    times = expected_hitting_times(matrix, targets=[0])
+    assert times[1] > 0 and np.isfinite(times[1])
+    for state in (3, 4, 5):
+        assert times[state] == float("inf")

@@ -1,0 +1,119 @@
+"""TransitionMatrix: stochasticity, powers, stationary distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import barabasi_albert_graph, cycle_graph
+from repro.graphs.graph import Graph
+from repro.markov.matrix import TransitionMatrix
+from repro.walks.transitions import (
+    LazyWalk,
+    MaxDegreeWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+)
+
+
+@pytest.fixture
+def ba_matrix(small_ba):
+    return TransitionMatrix(small_ba, SimpleRandomWalk())
+
+
+def test_rows_are_stochastic(small_ba):
+    for design in (
+        SimpleRandomWalk(),
+        MetropolisHastingsWalk(),
+        LazyWalk(SimpleRandomWalk(), 0.3),
+        MaxDegreeWalk(small_ba.max_degree()),
+    ):
+        matrix = TransitionMatrix(small_ba, design).matrix
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert np.all(matrix >= 0)
+
+
+def test_requires_contiguous_ids():
+    g = Graph()
+    g.add_edge(3, 7)
+    with pytest.raises(GraphError):
+        TransitionMatrix(g, SimpleRandomWalk())
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(GraphError):
+        TransitionMatrix(Graph(), SimpleRandomWalk())
+
+
+def test_power_matches_repeated_multiplication(ba_matrix):
+    direct = ba_matrix.matrix @ ba_matrix.matrix @ ba_matrix.matrix
+    assert np.allclose(ba_matrix.power(3), direct)
+    assert np.allclose(ba_matrix.power(0), np.eye(ba_matrix.size))
+    with pytest.raises(ValueError):
+        ba_matrix.power(-1)
+
+
+def test_step_distribution_is_distribution(ba_matrix):
+    for t in (0, 1, 5, 20):
+        p = ba_matrix.step_distribution(0, t)
+        assert p.shape == (ba_matrix.size,)
+        assert np.isclose(p.sum(), 1.0)
+        assert np.all(p >= 0)
+    with pytest.raises(GraphError):
+        ba_matrix.step_distribution(999, 1)
+
+
+def test_evolve_matches_step_distribution(ba_matrix):
+    initial = np.zeros(ba_matrix.size)
+    initial[0] = 1.0
+    assert np.allclose(
+        ba_matrix.evolve(initial, steps=7), ba_matrix.step_distribution(0, 7)
+    )
+    with pytest.raises(ValueError):
+        ba_matrix.evolve(np.ones(3))
+
+
+def test_srw_stationary_proportional_to_degree(small_ba):
+    matrix = TransitionMatrix(small_ba, SimpleRandomWalk())
+    pi = matrix.stationary_distribution()
+    degrees = np.array([small_ba.degree(v) for v in small_ba.nodes()], dtype=float)
+    assert np.allclose(pi, degrees / degrees.sum())
+
+
+def test_mhrw_stationary_uniform(small_ba):
+    matrix = TransitionMatrix(small_ba, MetropolisHastingsWalk())
+    pi = matrix.stationary_distribution()
+    assert np.allclose(pi, 1.0 / small_ba.number_of_nodes())
+
+
+def test_lazy_walk_preserves_stationary(small_ba):
+    plain = TransitionMatrix(small_ba, SimpleRandomWalk()).stationary_distribution()
+    lazy = TransitionMatrix(
+        small_ba, LazyWalk(SimpleRandomWalk(), 0.4)
+    ).stationary_distribution()
+    assert np.allclose(plain, lazy)
+
+
+def test_stationary_is_invariant(small_ba):
+    matrix = TransitionMatrix(small_ba, MetropolisHastingsWalk())
+    pi = matrix.stationary_distribution()
+    assert np.allclose(pi @ matrix.matrix, pi)
+
+
+def test_spectral_gap_in_unit_interval(small_ba, small_cycle):
+    for graph in (small_ba, small_cycle):
+        gap = TransitionMatrix(graph, SimpleRandomWalk()).spectral_gap()
+        assert 0.0 <= gap <= 1.0
+
+
+def test_cycle_has_smaller_gap_than_expander(small_ba, small_cycle):
+    # The paper notes cycles mix poorly (gap O(n^-2)); BA graphs mix fast.
+    gap_cycle = TransitionMatrix(small_cycle, SimpleRandomWalk()).spectral_gap()
+    gap_ba = TransitionMatrix(small_ba, SimpleRandomWalk()).spectral_gap()
+    assert gap_cycle < gap_ba
+
+
+def test_step_distribution_converges_to_stationary(small_ba):
+    matrix = TransitionMatrix(small_ba, SimpleRandomWalk())
+    pi = matrix.stationary_distribution()
+    p_large = matrix.step_distribution(0, 200)
+    assert np.max(np.abs(p_large - pi)) < 1e-6

@@ -1,0 +1,90 @@
+"""Mixing diagnostics: Δ(t), burn-in length, spectral bounds."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.markov.matrix import TransitionMatrix
+from repro.markov.mixing import (
+    burn_in_length,
+    linf_mixing_bound,
+    relative_pointwise_distance,
+    spectral_gap,
+)
+from repro.walks.transitions import LazyWalk, SimpleRandomWalk
+
+
+@pytest.fixture
+def matrix(small_ba):
+    return TransitionMatrix(small_ba, SimpleRandomWalk())
+
+
+def test_relative_pointwise_distance_decreases(matrix):
+    d1 = relative_pointwise_distance(matrix, 1)
+    d10 = relative_pointwise_distance(matrix, 10)
+    d50 = relative_pointwise_distance(matrix, 50)
+    assert d1 > d10 > d50
+    assert d50 >= 0.0
+
+
+def test_relative_pointwise_distance_rejects_negative_t(matrix):
+    with pytest.raises(ValueError):
+        relative_pointwise_distance(matrix, -1)
+
+
+def test_burn_in_length_monotone_in_epsilon(matrix):
+    loose = burn_in_length(matrix, epsilon=0.5)
+    tight = burn_in_length(matrix, epsilon=0.01)
+    assert tight >= loose >= 1
+    # Definition check: the returned t actually satisfies the threshold.
+    assert relative_pointwise_distance(matrix, tight) <= 0.01
+    assert relative_pointwise_distance(matrix, tight - 1) > 0.01
+
+
+def test_burn_in_linf_measure(matrix):
+    t = burn_in_length(matrix, epsilon=0.01, measure="linf", start=0)
+    pi = matrix.stationary_distribution()
+    assert np.max(np.abs(matrix.step_distribution(0, t) - pi)) <= 0.01
+
+
+def test_burn_in_validates_inputs(matrix):
+    with pytest.raises(ValueError):
+        burn_in_length(matrix, epsilon=0.0)
+    with pytest.raises(ValueError):
+        burn_in_length(matrix, epsilon=0.1, measure="nonsense")
+
+
+def test_burn_in_times_out_on_slow_chain(small_cycle):
+    matrix = TransitionMatrix(small_cycle, LazyWalk(SimpleRandomWalk(), 0.5))
+    with pytest.raises(ConvergenceError):
+        burn_in_length(matrix, epsilon=1e-9, max_steps=3)
+
+
+def test_spectral_gap_matches_matrix_method(matrix):
+    assert spectral_gap(matrix) == pytest.approx(matrix.spectral_gap())
+
+
+def test_linf_mixing_bound_properties():
+    # Decays geometrically; scale is the start degree (paper Eq. 9).
+    assert linf_mixing_bound(0.5, 8, 0) == 8.0
+    assert linf_mixing_bound(0.5, 8, 3) == pytest.approx(1.0)
+    assert linf_mixing_bound(0.5, 8, 10) < 0.01
+    with pytest.raises(ValueError):
+        linf_mixing_bound(1.5, 8, 1)
+    with pytest.raises(ValueError):
+        linf_mixing_bound(0.5, -1, 1)
+    with pytest.raises(ValueError):
+        linf_mixing_bound(0.5, 8, -1)
+
+
+def test_mixing_bound_actually_bounds(matrix):
+    # The spectral bound must dominate the true l-inf deviation.
+    gap = matrix.spectral_gap()
+    pi = matrix.stationary_distribution()
+    start = 0
+    degree = matrix.graph.degree(start)
+    for t in (1, 3, 6, 10):
+        true_dev = float(
+            np.max(np.abs(matrix.step_distribution(start, t) - pi))
+        )
+        assert true_dev <= linf_mixing_bound(gap, degree, t) + 1e-9

@@ -1,0 +1,80 @@
+"""Query counters, budgets, and logs."""
+
+import pytest
+
+from repro.errors import QueryBudgetExceededError
+from repro.osn.accounting import QueryBudget, QueryCounter, QueryLog
+
+
+def test_counter_unique_vs_raw():
+    counter = QueryCounter()
+    assert counter.charge(1) is True
+    assert counter.charge(1) is False
+    assert counter.charge(2) is True
+    assert counter.unique_nodes == 2
+    assert counter.raw_calls == 3
+
+
+def test_counter_seen_and_reset():
+    counter = QueryCounter()
+    counter.charge(5)
+    assert counter.seen(5) and not counter.seen(6)
+    counter.reset()
+    assert counter.unique_nodes == 0 and counter.raw_calls == 0
+
+
+def test_snapshot_cost_delta():
+    counter = QueryCounter()
+    counter.charge(1)
+    before = counter.snapshot()
+    counter.charge(2)
+    counter.charge(3)
+    counter.charge(2)  # repeat, free
+    after = counter.snapshot()
+    assert before.cost_since(after) == 2
+
+
+def test_budget_allows_cached_nodes():
+    counter = QueryCounter()
+    budget = QueryBudget(1)
+    budget.check(counter, 7)
+    counter.charge(7)
+    # Re-touching node 7 must not raise even though the budget is spent.
+    budget.check(counter, 7)
+    with pytest.raises(QueryBudgetExceededError):
+        budget.check(counter, 8)
+
+
+def test_budget_unlimited():
+    counter = QueryCounter()
+    budget = QueryBudget(None)
+    for node in range(1000):
+        budget.check(counter, node)
+        counter.charge(node)
+    assert budget.remaining(counter) is None
+
+
+def test_budget_remaining():
+    counter = QueryCounter()
+    budget = QueryBudget(3)
+    assert budget.remaining(counter) == 3
+    counter.charge(0)
+    assert budget.remaining(counter) == 2
+
+
+def test_budget_rejects_negative_limit():
+    with pytest.raises(ValueError):
+        QueryBudget(-1)
+
+
+def test_query_log_enabled_and_disabled():
+    enabled = QueryLog(enabled=True)
+    enabled.record(4)
+    enabled.record(4)
+    assert enabled.entries == [4, 4]
+    enabled.clear()
+    assert enabled.entries == []
+
+    disabled = QueryLog(enabled=False)
+    disabled.record(4)
+    assert disabled.entries == []

@@ -1,0 +1,112 @@
+"""SocialNetworkAPI: charging, caching, budget and restriction behaviour."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError, QueryBudgetExceededError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.accounting import QueryBudget
+from repro.osn.api import SocialNetworkAPI
+from repro.osn.ratelimit import TokenBucketRateLimiter, VirtualClock
+from repro.osn.restrictions import RandomKRestriction, TruncatedKRestriction
+
+
+@pytest.fixture
+def api(small_ba):
+    return SocialNetworkAPI(small_ba)
+
+
+def test_neighbors_charges_once(api, small_ba):
+    first = api.neighbors(0)
+    assert first == small_ba.neighbors(0)
+    assert api.query_cost == 1
+    api.neighbors(0)  # cache hit
+    assert api.query_cost == 1
+    assert api.raw_calls == 1
+
+
+def test_degree_equals_visible_neighbor_count(api, small_ba):
+    assert api.degree(3) == small_ba.degree(3)
+
+
+def test_unknown_node_rejected(api):
+    with pytest.raises(NodeNotFoundError):
+        api.neighbors(9999)
+    assert api.query_cost == 0  # failed lookups are free
+
+
+def test_budget_enforced(small_ba):
+    api = SocialNetworkAPI(small_ba, budget=QueryBudget(2))
+    api.neighbors(0)
+    api.neighbors(1)
+    with pytest.raises(QueryBudgetExceededError):
+        api.neighbors(2)
+    # Cached nodes remain accessible after exhaustion.
+    assert api.neighbors(0) == small_ba.neighbors(0)
+
+
+def test_attribute_charges_like_neighbors(small_ba):
+    small_ba.set_attribute("x", {n: float(n) for n in small_ba.nodes()})
+    api = SocialNetworkAPI(small_ba)
+    assert api.attribute(5, "x") == 5.0
+    assert api.query_cost == 1
+    # Second read of the same profile is free.
+    api.attribute(5, "x")
+    assert api.query_cost == 1
+    # A node already fetched via neighbors() has its profile cached too.
+    api.neighbors(7)
+    api.attribute(7, "x")
+    assert api.query_cost == 2
+
+
+def test_reset_accounting(small_ba):
+    api = SocialNetworkAPI(small_ba, log_queries=True)
+    api.neighbors(0)
+    api.reset_accounting()
+    assert api.query_cost == 0
+    assert api.raw_calls == 0
+    assert api.log.entries == []
+
+
+def test_type1_restriction_not_cached(small_ba):
+    api = SocialNetworkAPI(small_ba, restriction=RandomKRestriction(2, seed=1))
+    hub = max(small_ba.nodes(), key=small_ba.degree)
+    results = {api.neighbors(hub) for _ in range(20)}
+    # Fresh random subsets: the API is re-invoked (raw calls grow) and
+    # several distinct subsets appear.
+    assert api.raw_calls == 20
+    assert len(results) > 1
+    assert api.query_cost == 1
+
+
+def test_truncation_restriction_cached(small_ba):
+    api = SocialNetworkAPI(small_ba, restriction=TruncatedKRestriction(2))
+    hub = max(small_ba.nodes(), key=small_ba.degree)
+    first = api.neighbors(hub)
+    assert len(first) == 2
+    assert api.neighbors(hub) == first
+    assert api.raw_calls == 1
+
+
+def test_rate_limiter_advances_clock(small_ba):
+    clock = VirtualClock()
+    limiter = TokenBucketRateLimiter(capacity=2, period_seconds=60, clock=clock)
+    api = SocialNetworkAPI(small_ba, rate_limiter=limiter)
+    api.neighbors(0)
+    api.neighbors(1)
+    assert clock.now == 0.0  # burst fits the bucket
+    api.neighbors(2)
+    assert clock.now > 0.0  # third call had to wait
+
+
+def test_query_log_records_invocations(small_ba):
+    api = SocialNetworkAPI(small_ba, log_queries=True)
+    api.neighbors(0)
+    api.neighbors(0)  # cached: not an invocation
+    api.neighbors(1)
+    assert api.log.entries == [0, 1]
+
+
+def test_has_node_is_free(api):
+    assert api.has_node(0)
+    assert not api.has_node(123456)
+    assert api.query_cost == 0

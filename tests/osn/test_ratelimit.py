@@ -1,0 +1,78 @@
+"""Token-bucket rate limiter on the virtual clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RateLimitExceededError
+from repro.osn.ratelimit import TokenBucketRateLimiter, VirtualClock
+
+
+def test_clock_advances_monotonically():
+    clock = VirtualClock(start=10.0)
+    clock.advance(5.0)
+    assert clock.now == 15.0
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_burst_up_to_capacity():
+    limiter = TokenBucketRateLimiter(capacity=3, period_seconds=30)
+    for _ in range(3):
+        limiter.acquire()
+    with pytest.raises(RateLimitExceededError):
+        limiter.acquire()
+
+
+def test_refill_over_time():
+    clock = VirtualClock()
+    limiter = TokenBucketRateLimiter(capacity=2, period_seconds=20, clock=clock)
+    limiter.acquire()
+    limiter.acquire()
+    clock.advance(10.0)  # refill rate 0.1/s -> one token back
+    limiter.acquire()
+    with pytest.raises(RateLimitExceededError):
+        limiter.acquire()
+
+
+def test_tokens_capped_at_capacity():
+    clock = VirtualClock()
+    limiter = TokenBucketRateLimiter(capacity=5, period_seconds=10, clock=clock)
+    clock.advance(1000.0)
+    assert limiter.tokens == 5.0
+
+
+def test_acquire_or_wait_reports_wait_time():
+    clock = VirtualClock()
+    limiter = TokenBucketRateLimiter(capacity=1, period_seconds=60, clock=clock)
+    assert limiter.acquire_or_wait() == 0.0
+    wait = limiter.acquire_or_wait()
+    assert wait == pytest.approx(60.0)
+    assert clock.now == pytest.approx(60.0)
+
+
+def test_twitter_example_timing():
+    # 15 requests / 15 minutes: 100 requests should take ~85 minutes.
+    clock = VirtualClock()
+    limiter = TokenBucketRateLimiter(capacity=15, period_seconds=900, clock=clock)
+    for _ in range(100):
+        limiter.acquire_or_wait()
+    assert clock.now == pytest.approx((100 - 15) * 60.0)
+
+
+def test_retry_after_hint_is_accurate():
+    clock = VirtualClock()
+    limiter = TokenBucketRateLimiter(capacity=1, period_seconds=10, clock=clock)
+    limiter.acquire()
+    try:
+        limiter.acquire()
+    except RateLimitExceededError as err:
+        clock.advance(err.retry_after)
+        limiter.acquire()  # must now succeed
+    else:  # pragma: no cover
+        pytest.fail("second acquire should have been limited")
+
+
+def test_configuration_validation():
+    with pytest.raises(ConfigurationError):
+        TokenBucketRateLimiter(capacity=0, period_seconds=10)
+    with pytest.raises(ConfigurationError):
+        TokenBucketRateLimiter(capacity=1, period_seconds=0)

@@ -1,0 +1,144 @@
+"""Neighbor-access restriction semantics (paper §6.3.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.api import SocialNetworkAPI
+from repro.osn.restrictions import (
+    FixedRandomKRestriction,
+    RandomKRestriction,
+    TruncatedKRestriction,
+    mark_recapture_degree,
+    mutual_neighbors,
+)
+
+
+@pytest.fixture
+def neighbors10():
+    return tuple(range(10))
+
+
+def test_random_k_fresh_subsets(neighbors10):
+    restriction = RandomKRestriction(3, seed=1)
+    samples = {restriction.apply(0, neighbors10) for _ in range(30)}
+    assert all(len(s) == 3 for s in samples)
+    assert len(samples) > 1  # re-randomizes per call
+    # All returned nodes are true neighbors.
+    for subset in samples:
+        assert set(subset) <= set(neighbors10)
+
+
+def test_random_k_small_list_passthrough():
+    restriction = RandomKRestriction(5, seed=1)
+    assert restriction.apply(0, (1, 2)) == (1, 2)
+
+
+def test_fixed_k_stable_per_node(neighbors10):
+    restriction = FixedRandomKRestriction(4, seed=2)
+    first = restriction.apply(7, neighbors10)
+    assert all(restriction.apply(7, neighbors10) == first for _ in range(10))
+    # Different nodes may get different subsets.
+    other = restriction.apply(8, neighbors10)
+    assert len(other) == 4
+
+
+def test_fixed_k_reset_is_still_deterministic(neighbors10):
+    restriction = FixedRandomKRestriction(4, seed=2)
+    before = restriction.apply(7, neighbors10)
+    restriction.reset()
+    assert restriction.apply(7, neighbors10) == before  # derived from (seed, node)
+
+
+def test_truncated_prefix(neighbors10):
+    restriction = TruncatedKRestriction(3)
+    assert restriction.apply(0, neighbors10) == (0, 1, 2)
+    assert restriction.apply(0, (5,)) == (5,)
+
+
+def test_restrictions_validate_k():
+    with pytest.raises(ConfigurationError):
+        RandomKRestriction(0)
+    with pytest.raises(ConfigurationError):
+        FixedRandomKRestriction(0)
+    with pytest.raises(ConfigurationError):
+        TruncatedKRestriction(0)
+
+
+def test_type2_and_type3_indistinguishable_statically(neighbors10):
+    # Paper: fixed-random-k and truncated-l present identical interfaces —
+    # both return a stable subset of fixed size.
+    fixed = FixedRandomKRestriction(3, seed=5)
+    trunc = TruncatedKRestriction(3)
+    for node in range(5):
+        a = fixed.apply(node, neighbors10)
+        b = trunc.apply(node, neighbors10)
+        assert len(a) == len(b) == 3
+        assert a == fixed.apply(node, neighbors10)
+        assert b == trunc.apply(node, neighbors10)
+
+
+def test_mutual_neighbors_bidirectional_check():
+    graph = barabasi_albert_graph(40, 3, seed=3).relabeled()
+    api = SocialNetworkAPI(graph, restriction=TruncatedKRestriction(3))
+    node = max(graph.nodes(), key=graph.degree)
+    mutual = mutual_neighbors(api, node)
+    visible = api.neighbors(node)
+    assert set(mutual) <= set(visible)
+    # Every mutual edge really is bidirectional under the restriction.
+    for v in mutual:
+        assert node in api.neighbors(v)
+
+
+def test_mutual_neighbors_unrestricted_is_identity(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    assert mutual_neighbors(api, 0) == small_ba.neighbors(0)
+
+
+class TestMarkRecaptureDegree:
+    def test_unrestricted_returns_visible_degree(self, small_ba):
+        api = SocialNetworkAPI(small_ba)
+        assert mark_recapture_degree(api, 5) == small_ba.degree(5)
+
+    def test_stable_restriction_returns_visible_degree(self, small_ba):
+        api = SocialNetworkAPI(small_ba, restriction=TruncatedKRestriction(3))
+        hub = max(small_ba.nodes(), key=small_ba.degree)
+        assert mark_recapture_degree(api, hub) == 3.0
+
+    def test_type1_recovers_true_degree(self):
+        from repro.graphs.generators import star_graph
+
+        true_degree = 40
+        graph = star_graph(true_degree + 1)
+        estimates = []
+        for rep in range(30):
+            api = SocialNetworkAPI(
+                graph, restriction=RandomKRestriction(8, seed=rep)
+            )
+            estimates.append(mark_recapture_degree(api, 0, rounds=6))
+        import numpy as np
+
+        assert abs(np.mean(estimates) - true_degree) / true_degree < 0.2
+
+    def test_small_degree_exact(self):
+        from repro.graphs.generators import star_graph
+
+        graph = star_graph(5)  # hub degree 4 < k
+        api = SocialNetworkAPI(graph, restriction=RandomKRestriction(8, seed=1))
+        assert mark_recapture_degree(api, 0) == 4.0
+
+    def test_rounds_are_query_free_after_first(self, small_ba):
+        api = SocialNetworkAPI(small_ba, restriction=RandomKRestriction(2, seed=2))
+        hub = max(small_ba.nodes(), key=small_ba.degree)
+        mark_recapture_degree(api, hub, rounds=6)
+        assert api.query_cost == 1  # unique-node cost model: repeats free
+        assert api.raw_calls == 6
+
+    def test_validates_rounds(self, small_ba):
+        api = SocialNetworkAPI(small_ba)
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+
+        with _pytest.raises(ConfigurationError):
+            mark_recapture_degree(api, 0, rounds=1)

@@ -1,0 +1,72 @@
+"""Property-based tests for estimators and OSN accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.aggregates import importance_weighted_mean, plain_mean
+from repro.estimators.metrics import empirical_distribution
+from repro.osn.accounting import QueryCounter
+
+
+@st.composite
+def values_with_weights(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=50),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return values, weights
+
+
+@given(values_with_weights())
+@settings(max_examples=80, deadline=None)
+def test_weighted_mean_within_value_range(pair):
+    values, weights = pair
+    result = importance_weighted_mean(values, weights)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(values_with_weights())
+@settings(max_examples=80, deadline=None)
+def test_uniform_weights_reduce_to_plain_mean(pair):
+    values, _ = pair
+    weights = [2.5] * len(values)
+    weighted = importance_weighted_mean(values, weights)
+    assert weighted == pytest.approx(plain_mean(values), rel=1e-9, abs=1e-9)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=300),
+)
+@settings(max_examples=80, deadline=None)
+def test_empirical_distribution_is_distribution(nodes):
+    pdf = empirical_distribution(nodes, 10)
+    assert pdf.shape == (10,)
+    assert np.all(pdf >= 0)
+    assert np.isclose(pdf.sum(), 1.0)
+    # Mass sits exactly on visited nodes.
+    for node in range(10):
+        assert (pdf[node] > 0) == (node in nodes)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_query_counter_unique_vs_raw(nodes):
+    counter = QueryCounter()
+    for node in nodes:
+        counter.charge(node)
+    assert counter.raw_calls == len(nodes)
+    assert counter.unique_nodes == len(set(nodes))
+    assert counter.unique_nodes <= counter.raw_calls

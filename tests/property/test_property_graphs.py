@@ -1,0 +1,136 @@
+"""Property-based tests over random graphs (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    bfs_distances,
+    connected_components,
+    degree_histogram,
+    is_connected,
+)
+
+
+@st.composite
+def random_edge_graphs(draw):
+    """Arbitrary simple graphs from random edge lists."""
+    n = draw(st.integers(min_value=2, max_value=25))
+    edge_count = draw(st.integers(min_value=1, max_value=60))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=edge_count,
+            max_size=edge_count,
+        )
+    )
+    g = Graph()
+    g.add_nodes_from(range(n))
+    for u, v in edges:
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+@given(random_edge_graphs())
+@settings(max_examples=60, deadline=None)
+def test_handshake_lemma(g):
+    assert sum(g.degrees().values()) == 2 * g.number_of_edges()
+
+
+@given(random_edge_graphs())
+@settings(max_examples=60, deadline=None)
+def test_adjacency_is_symmetric(g):
+    for u, v in g.edges():
+        assert g.has_edge(v, u)
+        assert u in g.neighbors(v)
+        assert v in g.neighbors(u)
+
+
+@given(random_edge_graphs())
+@settings(max_examples=40, deadline=None)
+def test_components_partition_nodes(g):
+    components = connected_components(g)
+    seen = set()
+    for component in components:
+        assert not (component & seen)
+        seen |= component
+    assert seen == set(g.nodes())
+
+
+@given(random_edge_graphs())
+@settings(max_examples=40, deadline=None)
+def test_bfs_distances_triangle_inequality(g):
+    # d(s, v) <= d(s, u) + 1 for every edge (u, v).
+    source = g.nodes()[0]
+    distances = bfs_distances(g, source)
+    for u, v in g.edges():
+        if u in distances and v in distances:
+            assert abs(distances[u] - distances[v]) <= 1
+
+
+@given(random_edge_graphs())
+@settings(max_examples=40, deadline=None)
+def test_degree_histogram_counts_nodes(g):
+    histogram = degree_histogram(g)
+    assert sum(histogram.values()) == g.number_of_nodes()
+
+
+@given(random_edge_graphs())
+@settings(max_examples=30, deadline=None)
+def test_relabeled_preserves_shape(g):
+    r = g.relabeled()
+    assert r.number_of_nodes() == g.number_of_nodes()
+    assert r.number_of_edges() == g.number_of_edges()
+    assert sorted(degree_histogram(r).items()) == sorted(
+        degree_histogram(g).items()
+    )
+
+
+@given(
+    st.integers(min_value=5, max_value=60),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_barabasi_albert_invariants(n, m, seed):
+    if m >= n:
+        return
+    g = barabasi_albert_graph(n, m, seed=seed)
+    assert g.number_of_nodes() == n
+    assert g.number_of_edges() == m * (n - m)
+    assert is_connected(g)
+
+
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_erdos_renyi_is_simple(n, p, seed):
+    g = erdos_renyi_graph(n, p, seed=seed)
+    assert g.number_of_nodes() == n
+    max_edges = n * (n - 1) // 2
+    assert 0 <= g.number_of_edges() <= max_edges
+    for u, v in g.edges():
+        assert u != v
+
+
+@given(
+    st.integers(min_value=6, max_value=30),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_watts_strogatz_preserves_edges(n, beta, seed):
+    g = watts_strogatz_graph(n, 4, beta, seed=seed)
+    assert g.number_of_edges() == 2 * n

@@ -1,0 +1,108 @@
+"""Property-based tests for the Markov machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import barabasi_albert_graph
+from repro.markov.distributions import (
+    kl_divergence,
+    l_infinity_distance,
+    total_variation_distance,
+)
+from repro.markov.matrix import TransitionMatrix
+from repro.walks.transitions import (
+    LazyWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+)
+
+DESIGN_FACTORIES = [
+    SimpleRandomWalk,
+    MetropolisHastingsWalk,
+    lambda: LazyWalk(SimpleRandomWalk(), 0.3),
+]
+
+
+@given(
+    st.integers(min_value=5, max_value=30),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=2**31),
+    st.sampled_from(DESIGN_FACTORIES),
+)
+@settings(max_examples=25, deadline=None)
+def test_matrix_row_stochastic_on_random_graphs(n, m, seed, make_design):
+    if m >= n:
+        return
+    graph = barabasi_albert_graph(n, m, seed=seed).relabeled()
+    matrix = TransitionMatrix(graph, make_design()).matrix
+    assert np.all(matrix >= -1e-15)
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+
+
+@given(
+    st.integers(min_value=5, max_value=25),
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=25, deadline=None)
+def test_p_t_stays_distribution(n, seed, t):
+    graph = barabasi_albert_graph(n, 2, seed=seed).relabeled() if n > 2 else None
+    if graph is None:
+        return
+    matrix = TransitionMatrix(graph, SimpleRandomWalk())
+    p_t = matrix.step_distribution(0, t)
+    assert np.all(p_t >= -1e-12)
+    assert np.isclose(p_t.sum(), 1.0)
+
+
+@st.composite
+def distribution_pairs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    a = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    b = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return a / a.sum(), b / b.sum()
+
+
+@given(distribution_pairs())
+@settings(max_examples=60, deadline=None)
+def test_distances_nonnegative_and_zero_on_self(pair):
+    p, q = pair
+    assert l_infinity_distance(p, q) >= 0
+    assert total_variation_distance(p, q) >= 0
+    assert kl_divergence(p, q) >= -1e-12  # Gibbs' inequality
+    assert l_infinity_distance(p, p) == 0
+    assert total_variation_distance(p, p) == 0
+    assert abs(kl_divergence(p, p)) < 1e-12
+
+
+@given(distribution_pairs())
+@settings(max_examples=60, deadline=None)
+def test_distance_symmetry_properties(pair):
+    p, q = pair
+    # l-inf and TV are symmetric; KL need not be.
+    assert l_infinity_distance(p, q) == l_infinity_distance(q, p)
+    assert total_variation_distance(p, q) == total_variation_distance(q, p)
+
+
+@given(distribution_pairs())
+@settings(max_examples=40, deadline=None)
+def test_tv_is_half_l1(pair):
+    p, q = pair
+    assert total_variation_distance(p, q) == np.abs(p - q).sum() / 2

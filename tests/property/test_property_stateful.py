@@ -1,0 +1,81 @@
+"""Stateful cross-validation of Graph against NetworkX.
+
+A hypothesis rule-based state machine drives the same random sequence of
+mutations into our :class:`Graph` and a reference ``networkx.Graph``, and
+checks the structures agree after every step — the strongest guard against
+bookkeeping drift in the adjacency/cache/edge-count logic.
+"""
+
+import networkx as nx
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graphs.graph import Graph
+
+NODES = st.integers(min_value=0, max_value=15)
+
+
+class GraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ours = Graph()
+        self.reference = nx.Graph()
+
+    @rule(node=NODES)
+    def add_node(self, node):
+        self.ours.add_node(node)
+        self.reference.add_node(node)
+
+    @rule(u=NODES, v=NODES)
+    def add_edge(self, u, v):
+        if u == v:
+            try:
+                self.ours.add_edge(u, v)
+            except GraphError:
+                return
+            raise AssertionError("self-loop accepted")
+        self.ours.add_edge(u, v)
+        self.reference.add_edge(u, v)
+
+    @rule(u=NODES, v=NODES)
+    def remove_edge(self, u, v):
+        if self.reference.has_edge(u, v):
+            self.ours.remove_edge(u, v)
+            self.reference.remove_edge(u, v)
+        else:
+            try:
+                self.ours.remove_edge(u, v)
+            except GraphError:
+                return
+            raise AssertionError("removing a missing edge did not raise")
+
+    @rule(node=NODES)
+    def remove_node(self, node):
+        if self.reference.has_node(node):
+            self.ours.remove_node(node)
+            self.reference.remove_node(node)
+        else:
+            try:
+                self.ours.remove_node(node)
+            except NodeNotFoundError:
+                return
+            raise AssertionError("removing a missing node did not raise")
+
+    @invariant()
+    def same_structure(self):
+        assert self.ours.number_of_nodes() == self.reference.number_of_nodes()
+        assert self.ours.number_of_edges() == self.reference.number_of_edges()
+        assert set(self.ours.nodes()) == set(self.reference.nodes())
+        for node in self.ours.nodes():
+            assert set(self.ours.neighbors(node)) == set(
+                self.reference.neighbors(node)
+            )
+            assert self.ours.degree(node) == self.reference.degree(node)
+
+
+GraphMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestGraphAgainstNetworkx = GraphMachine.TestCase

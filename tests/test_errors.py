@@ -1,0 +1,53 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    EstimationError,
+    ExperimentError,
+    GraphError,
+    NodeNotFoundError,
+    QueryBudgetExceededError,
+    RateLimitExceededError,
+    ReproError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for cls in (
+        GraphError,
+        NodeNotFoundError,
+        QueryBudgetExceededError,
+        RateLimitExceededError,
+        ConfigurationError,
+        EstimationError,
+        ConvergenceError,
+        ExperimentError,
+    ):
+        assert issubclass(cls, ReproError)
+
+
+def test_node_not_found_is_key_error():
+    # dict-style callers may catch KeyError; preserve that contract.
+    assert issubclass(NodeNotFoundError, KeyError)
+    err = NodeNotFoundError(42)
+    assert err.node == 42
+    assert "42" in str(err)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_budget_error_carries_accounting():
+    err = QueryBudgetExceededError(budget=100, spent=100)
+    assert err.budget == 100
+    assert err.spent == 100
+    assert "100" in str(err)
+
+
+def test_rate_limit_error_carries_retry_after():
+    err = RateLimitExceededError(retry_after=12.5)
+    assert err.retry_after == 12.5

@@ -1,0 +1,64 @@
+"""Seeding and weighted-choice helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng import choice_weighted, ensure_rng, spawn
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(7).integers(0, 1000, size=5)
+    b = ensure_rng(7).integers(0, 1000, size=5)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_passthrough():
+    gen = np.random.default_rng(3)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_children_are_independent_and_deterministic():
+    children_a = spawn(ensure_rng(5), 3)
+    children_b = spawn(ensure_rng(5), 3)
+    for ca, cb in zip(children_a, children_b):
+        assert np.array_equal(ca.integers(0, 100, 10), cb.integers(0, 100, 10))
+    # Distinct children produce distinct streams.
+    fresh = spawn(ensure_rng(5), 2)
+    assert not np.array_equal(
+        fresh[0].integers(0, 1000, 10), fresh[1].integers(0, 1000, 10)
+    )
+
+
+def test_spawn_rejects_negative():
+    with pytest.raises(ValueError):
+        spawn(ensure_rng(1), -1)
+
+
+def test_choice_weighted_uniform_covers_all_items(rng):
+    seen = {choice_weighted(rng, ["a", "b", "c"]) for _ in range(200)}
+    assert seen == {"a", "b", "c"}
+
+
+def test_choice_weighted_respects_weights(rng):
+    counts = {"x": 0, "y": 0}
+    for _ in range(2000):
+        counts[choice_weighted(rng, ["x", "y"], [9.0, 1.0])] += 1
+    assert counts["x"] > counts["y"] * 4
+
+
+def test_choice_weighted_zero_weight_never_chosen(rng):
+    for _ in range(100):
+        assert choice_weighted(rng, ["a", "b"], [1.0, 0.0]) == "a"
+
+
+def test_choice_weighted_rejects_bad_input(rng):
+    with pytest.raises(ValueError):
+        choice_weighted(rng, [])
+    with pytest.raises(ValueError):
+        choice_weighted(rng, ["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        choice_weighted(rng, ["a", "b"], [0.0, 0.0])

@@ -1,0 +1,62 @@
+"""§4.2 case studies: model registry, cost and savings curves."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory.case_studies import (
+    CASE_STUDY_MODELS,
+    build_case_study_graph,
+    cost_curve,
+    savings_curve,
+)
+
+
+def test_registry_has_all_five_paper_models():
+    assert set(CASE_STUDY_MODELS) == {
+        "barbell",
+        "cycle",
+        "hypercube",
+        "tree",
+        "barabasi",
+    }
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ConfigurationError):
+        build_case_study_graph("torus", 31)
+
+
+def test_sizes_snap_to_feasible_values():
+    assert build_case_study_graph("hypercube", 31).number_of_nodes() == 32
+    assert build_case_study_graph("barbell", 30).number_of_nodes() == 31
+    assert build_case_study_graph("tree", 31).number_of_nodes() == 31
+    assert build_case_study_graph("cycle", 31).number_of_nodes() == 31
+    assert build_case_study_graph("barabasi", 31).number_of_nodes() == 31
+
+
+def test_cost_curve_infinite_below_diameter_then_finite():
+    curve = cost_curve("cycle", n=15, walk_lengths=[2, 4, 16, 64])
+    assert curve[2] == float("inf")  # below the 7-hop diameter
+    assert curve[64] != float("inf")
+
+
+def test_cost_curve_has_interior_minimum_on_tree():
+    lengths = [4, 8, 16, 32, 64, 128]
+    curve = cost_curve("tree", n=31, walk_lengths=lengths)
+    finite = {t: c for t, c in curve.items() if c != float("inf")}
+    best_t = min(finite, key=finite.get)
+    assert best_t not in (lengths[0], lengths[-1])
+
+
+def test_savings_curve_barbell_increases_with_size():
+    curve = savings_curve("barbell", sizes=[9, 17, 33], relative_delta=0.1)
+    values = list(curve.values())
+    assert values == sorted(values)
+    assert values[-1] > 0.5
+
+
+def test_savings_curve_all_models_positive_at_moderate_size():
+    for model in CASE_STUDY_MODELS:
+        curve = savings_curve(model, sizes=[16], relative_delta=0.1)
+        (saving,) = curve.values()
+        assert saving > 0.0, model

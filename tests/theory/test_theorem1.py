@@ -1,0 +1,84 @@
+"""Theorem 1 closed forms: consistency with the numeric optimum."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory.theorem1 import (
+    cost_model,
+    cost_ratio_bound,
+    input_walk_cost_bound,
+    optimal_walk_length_closed_form,
+)
+
+
+def test_cost_model_infinite_until_denominator_positive():
+    # Until (1-lambda)^t * d_max < Gamma the model can't certify acceptance.
+    assert cost_model(1, 0.1, d_max=50, gamma=1.0, delta=0.5) == float("inf")
+    assert np.isfinite(cost_model(60, 0.1, d_max=50, gamma=1.0, delta=0.5))
+
+
+def test_cost_model_validates_inputs():
+    with pytest.raises(ConfigurationError):
+        cost_model(1, 0.0, 10, 1.0, 0.5)
+    with pytest.raises(ConfigurationError):
+        cost_model(1, 0.5, 0, 1.0, 0.5)
+    with pytest.raises(ConfigurationError):
+        cost_model(1, 0.5, 10, 1.0, 2.0)  # delta >= gamma
+    with pytest.raises(ConfigurationError):
+        cost_model(0, 0.5, 10, 1.0, 0.5)
+
+
+@pytest.mark.parametrize("spectral_gap", [0.05, 0.2, 0.5])
+@pytest.mark.parametrize("d_max", [5, 50, 500])
+def test_closed_form_matches_numeric_minimum(spectral_gap, d_max):
+    gamma = 1.0
+    delta = 0.5
+    t_opt = optimal_walk_length_closed_form(spectral_gap, d_max, gamma)
+    t_grid = np.linspace(max(0.01, t_opt / 10), t_opt * 10, 4000)
+    costs = [cost_model(t, spectral_gap, d_max, gamma, delta) for t in t_grid]
+    numeric_best = t_grid[int(np.argmin(costs))]
+    assert t_opt == pytest.approx(numeric_best, rel=0.05)
+    # The closed-form point is no worse than any grid point.
+    assert cost_model(t_opt, spectral_gap, d_max, gamma, delta) <= min(costs) * 1.001
+
+
+def test_t_opt_independent_of_delta():
+    # The theorem's punchline: t_opt has no delta in it at all (the API
+    # reflects that by not taking delta); check the cost model agrees —
+    # the same t minimizes for very different delta values.
+    spectral_gap, d_max, gamma = 0.2, 40, 1.0
+    t_opt = optimal_walk_length_closed_form(spectral_gap, d_max, gamma)
+    for delta in (0.9, 0.1, 0.001):
+        grid = np.linspace(t_opt / 4, t_opt * 4, 2000)
+        costs = [cost_model(t, spectral_gap, d_max, gamma, delta) for t in grid]
+        assert grid[int(np.argmin(costs))] == pytest.approx(t_opt, rel=0.05)
+
+
+def test_input_walk_cost_bound_monotonicity():
+    # Tighter delta or smaller gap -> longer burn-in.
+    assert input_walk_cost_bound(0.2, 50, 0.001) > input_walk_cost_bound(
+        0.2, 50, 0.1
+    )
+    assert input_walk_cost_bound(0.05, 50, 0.01) > input_walk_cost_bound(
+        0.4, 50, 0.01
+    )
+    # Trivially satisfied bound costs nothing.
+    assert input_walk_cost_bound(0.2, 5, 10.0) == 0.0
+    with pytest.raises(ConfigurationError):
+        input_walk_cost_bound(0.2, 50, 0.0)
+
+
+def test_cost_ratio_bound_below_one_in_theorem_regime():
+    # Theorem 1: IDEAL-WALK beats the input walk whenever 0 < delta < Gamma;
+    # the advantage grows as delta tightens.
+    ratio_loose = cost_ratio_bound(0.2, 50, gamma=1.0, delta=0.5)
+    ratio_tight = cost_ratio_bound(0.2, 50, gamma=1.0, delta=1e-4)
+    assert ratio_tight < ratio_loose
+    assert ratio_tight < 1.0
+
+
+def test_closed_form_rejects_out_of_regime():
+    with pytest.raises(ConfigurationError):
+        # gamma >= e * d_max pushes the Lambert argument past -1/e.
+        optimal_walk_length_closed_form(0.2, d_max=1, gamma=5.0)

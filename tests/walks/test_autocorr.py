@@ -1,0 +1,76 @@
+"""Autocorrelation and effective sample size (paper Eq. 25)."""
+
+import numpy as np
+import pytest
+
+from repro.walks.autocorr import (
+    autocorrelation,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+)
+
+
+def test_lag_zero_is_one():
+    rng = np.random.default_rng(1)
+    series = rng.normal(size=200)
+    assert autocorrelation(series, 0) == pytest.approx(1.0)
+
+
+def test_iid_series_has_near_zero_autocorrelation():
+    rng = np.random.default_rng(2)
+    series = rng.normal(size=5000)
+    assert abs(autocorrelation(series, 1)) < 0.05
+    assert abs(autocorrelation(series, 5)) < 0.05
+
+
+def test_persistent_series_has_positive_autocorrelation():
+    rng = np.random.default_rng(3)
+    # AR(1) with strong persistence.
+    series = [0.0]
+    for _ in range(3000):
+        series.append(0.9 * series[-1] + rng.normal())
+    assert autocorrelation(series, 1) > 0.8
+
+
+def test_alternating_series_negative_lag1():
+    series = [1.0, -1.0] * 100
+    assert autocorrelation(series, 1) == pytest.approx(-1.0, abs=0.02)
+
+
+def test_constant_series_zero_by_convention():
+    assert autocorrelation([5.0] * 50, 1) == 0.0
+    assert integrated_autocorrelation_time([5.0] * 50) == 1.0
+
+
+def test_degenerate_inputs():
+    assert autocorrelation([], 1) == 0.0
+    assert autocorrelation([1.0], 1) == 0.0
+    assert autocorrelation([1.0, 2.0], 5) == 0.0
+    with pytest.raises(ValueError):
+        autocorrelation([1.0, 2.0], -1)
+    assert effective_sample_size([]) == 0.0
+
+
+def test_ess_iid_close_to_n():
+    rng = np.random.default_rng(4)
+    series = rng.normal(size=2000)
+    ess = effective_sample_size(series)
+    assert 0.8 * 2000 <= ess <= 1.2 * 2000
+
+
+def test_ess_correlated_much_smaller_than_n():
+    # This is the paper's §6.1 argument: one long run's h samples are worth
+    # far fewer effective samples when autocorrelation is strong.
+    rng = np.random.default_rng(5)
+    series = [0.0]
+    for _ in range(2000):
+        series.append(0.95 * series[-1] + rng.normal())
+    ess = effective_sample_size(series)
+    assert ess < len(series) / 5
+
+
+def test_integrated_time_at_least_one():
+    rng = np.random.default_rng(6)
+    for _ in range(5):
+        series = rng.normal(size=300)
+        assert integrated_autocorrelation_time(series) >= 0.9

@@ -1,0 +1,62 @@
+"""Crawl-order baselines: BFS, DFS, snowball."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.generators import barabasi_albert_graph, cycle_graph
+from repro.graphs.properties import bfs_distances
+from repro.osn.accounting import QueryBudget
+from repro.osn.api import SocialNetworkAPI
+from repro.walks.baselines import BFSSampler, DFSSampler, SnowballSampler
+
+
+@pytest.fixture
+def api(small_ba):
+    return SocialNetworkAPI(small_ba)
+
+
+def test_bfs_visits_in_distance_order(small_ba, api):
+    batch = BFSSampler().sample(api, start=0, count=20, seed=1)
+    distances = bfs_distances(small_ba, 0)
+    order = [distances[node] for node in batch.nodes]
+    assert order == sorted(order)
+    assert batch.nodes[0] == 0
+    assert len(set(batch.nodes)) == 20  # no repeats
+
+
+def test_dfs_goes_deep(small_cycle):
+    api = SocialNetworkAPI(small_cycle)
+    batch = DFSSampler().sample(api, start=0, count=8, seed=1)
+    # On a cycle, DFS walks one direction around the ring.
+    assert batch.nodes[:4] == [0, 1, 2, 3]
+
+
+def test_snowball_fanout_limits_wave_growth(small_ba, api):
+    batch = SnowballSampler(fanout=1).sample(api, start=0, count=10, seed=2)
+    assert len(batch) <= 10
+    assert batch.nodes[0] == 0
+    with pytest.raises(ConfigurationError):
+        SnowballSampler(fanout=0)
+
+
+def test_all_baselines_respect_budget(small_ba):
+    for sampler in (BFSSampler(), DFSSampler(), SnowballSampler()):
+        api = SocialNetworkAPI(small_ba, budget=QueryBudget(5))
+        batch = sampler.sample(api, start=0, count=30, seed=3)
+        assert api.query_cost <= 5
+        assert len(batch) <= 30
+
+
+def test_all_baselines_validate_count(api):
+    for sampler in (BFSSampler(), DFSSampler(), SnowballSampler()):
+        with pytest.raises(ConfigurationError):
+            sampler.sample(api, 0, 0)
+
+
+def test_baseline_samples_concentrate_near_start():
+    # The known pathology these samplers exist to demonstrate.
+    graph = barabasi_albert_graph(500, 3, seed=4).relabeled()
+    api = SocialNetworkAPI(graph)
+    batch = BFSSampler().sample(api, start=0, count=60, seed=5)
+    distances = bfs_distances(graph, 0)
+    assert max(distances[node] for node in batch.nodes) <= 2

@@ -1,0 +1,94 @@
+"""BidirectionalWalk: SRW over mutual edges (paper §6.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.markov.matrix import TransitionMatrix
+from repro.osn.api import SocialNetworkAPI
+from repro.osn.restrictions import FixedRandomKRestriction, TruncatedKRestriction
+from repro.walks.samplers import BurnInSampler
+from repro.walks.transitions import BidirectionalWalk, SimpleRandomWalk
+
+
+def test_unrestricted_equals_srw(small_ba):
+    bidir = BidirectionalWalk()
+    srw = SimpleRandomWalk()
+    for node in (0, 5, 17):
+        assert bidir.transition_row(small_ba, node) == srw.transition_row(
+            small_ba, node
+        )
+        assert bidir.target_weight(small_ba, node) == srw.target_weight(
+            small_ba, node
+        )
+
+
+def test_restricted_rows_are_distributions(small_ba):
+    api = SocialNetworkAPI(small_ba, restriction=TruncatedKRestriction(3))
+    bidir = BidirectionalWalk()
+    hub = max(small_ba.nodes(), key=small_ba.degree)
+    row = bidir.transition_row(api, hub)
+    assert sum(row.values()) == pytest.approx(1.0)
+    # Every transition target reciprocates visibility.
+    for target in row:
+        assert hub in api.neighbors(target)
+
+
+def test_restricted_walk_only_uses_mutual_edges(rng):
+    graph = barabasi_albert_graph(100, 4, seed=7).relabeled()
+    api = SocialNetworkAPI(graph, restriction=FixedRandomKRestriction(4, seed=1))
+    bidir = BidirectionalWalk()
+    current = 0
+    for _ in range(40):
+        nxt = bidir.step(api, current, rng)
+        assert nxt in api.neighbors(current)
+        assert current in api.neighbors(nxt)
+        current = nxt
+
+
+def test_transition_probability_matches_row(small_ba):
+    api = SocialNetworkAPI(small_ba, restriction=TruncatedKRestriction(3))
+    bidir = BidirectionalWalk()
+    node = 4
+    row = bidir.transition_row(api, node)
+    for dest in list(row) + [99 % 30]:
+        assert bidir.transition_probability(api, node, dest) == pytest.approx(
+            row.get(dest, 0.0)
+        )
+
+
+def test_stationary_proportional_to_mutual_degree(small_ba):
+    # On an unrestricted graph the mutual graph is the graph itself.
+    matrix = TransitionMatrix(small_ba, BidirectionalWalk())
+    pi = matrix.stationary_distribution()
+    degrees = np.array([small_ba.degree(v) for v in small_ba.nodes()], float)
+    assert np.allclose(pi, degrees / degrees.sum())
+
+
+def test_node_without_mutual_edges_raises():
+    # Star hub truncated to 1 neighbor: leaf 2 sees hub, hub only sees
+    # leaf 1 -> leaf 2 has no mutual edge.
+    from repro.graphs.generators import star_graph
+
+    graph = star_graph(5)
+    api = SocialNetworkAPI(graph, restriction=TruncatedKRestriction(1))
+    bidir = BidirectionalWalk()
+    with pytest.raises(GraphError):
+        bidir.transition_row(api, 3)
+
+
+def test_samples_under_restriction_debias_degree_estimate():
+    # The §6.3.1 claim end-to-end, in miniature.
+    from repro.estimators.aggregates import average_estimate
+    from repro.estimators.metrics import relative_error
+
+    graph = barabasi_albert_graph(400, 5, seed=11).relabeled()
+    graph.set_attribute("degree", {n: float(graph.degree(n)) for n in graph.nodes()})
+    truth = graph.attribute_mean("degree")
+    api = SocialNetworkAPI(graph, restriction=FixedRandomKRestriction(8, seed=3))
+    sampler = BurnInSampler(BidirectionalWalk(), min_steps=30, max_steps=400)
+    batch = sampler.sample(api, start=0, count=80, seed=5)
+    values = [graph.get_attribute("degree", n) for n in batch.nodes]
+    error = relative_error(average_estimate(batch, values), truth)
+    assert error < 0.5  # naive SRW under the same restriction exceeds 1.0

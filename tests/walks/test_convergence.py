@@ -1,0 +1,93 @@
+"""Geweke convergence monitor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.walks.convergence import GewekeMonitor
+
+
+def test_requires_minimum_samples():
+    monitor = GewekeMonitor(min_samples=20)
+    monitor.observe_many(range(10))
+    assert not monitor.is_converged()
+    with pytest.raises(ConvergenceError):
+        monitor.evaluate()
+
+
+def test_stationary_series_z_is_standard_normal_scale(rng):
+    # For an i.i.d. series the Geweke Z is approximately standard normal;
+    # it is *not* guaranteed below a tight threshold on any single check
+    # (that is why monitored walks keep walking until a check passes).
+    monitor = GewekeMonitor(threshold=4.0)
+    monitor.observe_many(rng.normal(10.0, 1.0, size=500))
+    result = monitor.evaluate()
+    assert result.converged
+    assert result.z_score <= 4.0
+    assert result.samples_used == 500
+
+
+def test_stationary_z_small_on_average(rng):
+    z_scores = []
+    for _ in range(50):
+        monitor = GewekeMonitor()
+        monitor.observe_many(rng.normal(0.0, 1.0, size=400))
+        z_scores.append(monitor.evaluate().z_score)
+    # Mean |Z| of a standard normal is ~0.8; a trending series is >> that.
+    assert np.mean(z_scores) < 2.0
+
+
+def test_trending_series_does_not_converge():
+    monitor = GewekeMonitor(threshold=0.1)
+    monitor.observe_many(np.linspace(0.0, 100.0, 400))
+    result = monitor.evaluate()
+    assert not result.converged
+    assert result.z_score > 0.1
+    assert result.window_a_mean < result.window_b_mean
+
+
+def test_constant_series_is_trivially_converged():
+    # The blind spot figure5 leans on: a constant monitored attribute
+    # (cycle graph degrees) makes Z = 0 immediately.
+    monitor = GewekeMonitor()
+    monitor.observe_many([2.0] * 50)
+    result = monitor.evaluate()
+    assert result.z_score == 0.0
+    assert result.converged
+
+
+def test_reset_clears_series(rng):
+    monitor = GewekeMonitor()
+    monitor.observe_many(rng.normal(size=100))
+    monitor.reset()
+    assert monitor.count == 0
+    assert not monitor.is_converged()
+
+
+def test_threshold_ordering(rng):
+    # A tighter threshold can only be harder to satisfy.
+    series = rng.normal(5.0, 2.0, size=300)
+    loose = GewekeMonitor(threshold=1.0)
+    tight = GewekeMonitor(threshold=0.0001)
+    loose.observe_many(series)
+    tight.observe_many(series)
+    assert loose.evaluate().z_score == tight.evaluate().z_score
+    assert loose.is_converged() or not tight.is_converged()
+
+
+def test_window_fractions_used():
+    monitor = GewekeMonitor(first_fraction=0.1, last_fraction=0.5, threshold=0.1)
+    # First 10% very different from last 50%: must not converge.
+    monitor.observe_many([100.0] * 10 + [0.0] * 90)
+    assert not monitor.evaluate().converged
+
+
+def test_configuration_validation():
+    with pytest.raises(ConfigurationError):
+        GewekeMonitor(threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        GewekeMonitor(first_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        GewekeMonitor(first_fraction=0.6, last_fraction=0.6)
+    with pytest.raises(ConfigurationError):
+        GewekeMonitor(min_samples=2)

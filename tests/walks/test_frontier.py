@@ -1,0 +1,74 @@
+"""Frontier sampling (m-dimensional random walk)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.graph import Graph
+from repro.osn.accounting import QueryBudget
+from repro.osn.api import SocialNetworkAPI
+from repro.walks.frontier import FrontierSampler
+
+
+def test_collects_requested_count(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    sampler = FrontierSampler(dimension=4, burn_in_steps=20)
+    batch = sampler.sample(api, start=0, count=50, seed=1)
+    assert len(batch) == 50
+    assert batch.walk_steps == 20 + 50
+    for node, weight in zip(batch.nodes, batch.target_weights):
+        assert weight == small_ba.degree(node)
+
+
+def test_validates_configuration(small_ba):
+    with pytest.raises(ConfigurationError):
+        FrontierSampler(dimension=0)
+    with pytest.raises(ConfigurationError):
+        FrontierSampler(burn_in_steps=-1)
+    api = SocialNetworkAPI(small_ba)
+    with pytest.raises(ConfigurationError):
+        FrontierSampler().sample(api, 0, 0)
+
+
+def test_respects_budget(small_ba):
+    api = SocialNetworkAPI(small_ba, budget=QueryBudget(6))
+    batch = FrontierSampler(dimension=2, burn_in_steps=5).sample(
+        api, start=0, count=100, seed=2
+    )
+    assert api.query_cost <= 6
+    assert len(batch) < 100
+
+
+def test_sample_from_seeds_validates(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    sampler = FrontierSampler(dimension=3, burn_in_steps=5)
+    with pytest.raises(ConfigurationError):
+        sampler.sample_from_seeds(api, seeds=[0, 1], count=5)
+    batch = sampler.sample_from_seeds(api, seeds=[0, 5, 9], count=10, seed=3)
+    assert len(batch) == 10
+
+
+def test_samples_degree_proportional(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    sampler = FrontierSampler(dimension=6, burn_in_steps=100)
+    batch = sampler.sample(api, start=0, count=30000, seed=4)
+    counts = np.bincount(batch.nodes, minlength=30).astype(float)
+    empirical = counts / counts.sum()
+    degrees = np.array([small_ba.degree(v) for v in small_ba.nodes()], float)
+    expected = degrees / degrees.sum()
+    assert np.max(np.abs(empirical - expected)) < 0.02
+
+
+def test_covers_disconnected_components_with_spread_seeds():
+    # The frontier's advantage: seeded in both components, it samples both
+    # (a single SRW could never cross).
+    g = Graph()
+    g.add_edges_from([(0, 1), (1, 2), (2, 0)])     # component A
+    g.add_edges_from([(10, 11), (11, 12), (12, 10)])  # component B
+    api = SocialNetworkAPI(g)
+    sampler = FrontierSampler(dimension=2, burn_in_steps=10)
+    batch = sampler.sample_from_seeds(api, seeds=[0, 10], count=200, seed=5)
+    sampled = set(batch.nodes)
+    assert sampled & {0, 1, 2}
+    assert sampled & {10, 11, 12}

@@ -1,0 +1,95 @@
+"""Gelman–Rubin diagnostic and the parallel-chain sampler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.osn.api import SocialNetworkAPI
+from repro.walks.gelman_rubin import GelmanRubinMonitor, ParallelBurnInSampler
+from repro.walks.transitions import SimpleRandomWalk
+
+
+def test_needs_two_chains():
+    monitor = GelmanRubinMonitor()
+    monitor.observe(0, 1.0)
+    with pytest.raises(ConvergenceError):
+        monitor.psrf()
+
+
+def test_needs_minimum_length(rng):
+    monitor = GelmanRubinMonitor(min_samples_per_chain=10)
+    for value in rng.normal(size=5):
+        monitor.observe(0, value)
+        monitor.observe(1, value + 0.1)
+    with pytest.raises(ConvergenceError):
+        monitor.psrf()
+    assert not monitor.is_converged()
+
+
+def test_agreeing_chains_have_psrf_near_one(rng):
+    monitor = GelmanRubinMonitor(threshold=1.1)
+    for _ in range(500):
+        monitor.observe(0, rng.normal(5.0, 1.0))
+        monitor.observe(1, rng.normal(5.0, 1.0))
+        monitor.observe(2, rng.normal(5.0, 1.0))
+    assert monitor.psrf() == pytest.approx(1.0, abs=0.05)
+    assert monitor.is_converged()
+
+
+def test_disagreeing_chains_have_large_psrf(rng):
+    monitor = GelmanRubinMonitor()
+    for _ in range(300):
+        monitor.observe(0, rng.normal(0.0, 1.0))
+        monitor.observe(1, rng.normal(50.0, 1.0))
+    assert monitor.psrf() > 5.0
+    assert not monitor.is_converged()
+
+
+def test_constant_chains():
+    monitor = GelmanRubinMonitor()
+    for _ in range(20):
+        monitor.observe(0, 3.0)
+        monitor.observe(1, 3.0)
+    assert monitor.psrf() == 1.0
+    monitor.reset()
+    for _ in range(20):
+        monitor.observe(0, 3.0)
+        monitor.observe(1, 4.0)
+    assert monitor.psrf() == float("inf")
+
+
+def test_monitor_validates_configuration():
+    with pytest.raises(ConfigurationError):
+        GelmanRubinMonitor(threshold=1.0)
+    with pytest.raises(ConfigurationError):
+        GelmanRubinMonitor(min_samples_per_chain=1)
+
+
+def test_parallel_sampler_yields_chain_count_per_round(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    sampler = ParallelBurnInSampler(
+        SimpleRandomWalk(), chain_count=3, min_steps=20, max_steps=300
+    )
+    batch = sampler.sample(api, starts=[0, 7, 15], count=6, seed=4)
+    assert len(batch) == 6
+    assert all(w == small_ba.degree(n) for n, w in zip(batch.nodes, batch.target_weights))
+
+
+def test_parallel_sampler_validates(small_ba):
+    sampler = ParallelBurnInSampler(SimpleRandomWalk(), chain_count=3)
+    api = SocialNetworkAPI(small_ba)
+    with pytest.raises(ConfigurationError):
+        sampler.sample(api, starts=[0, 1], count=3)  # wrong start count
+    with pytest.raises(ConfigurationError):
+        sampler.sample(api, starts=[0, 1, 2], count=0)
+    with pytest.raises(ConfigurationError):
+        ParallelBurnInSampler(SimpleRandomWalk(), chain_count=1)
+
+
+def test_parallel_sampler_walk_steps_counted(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    sampler = ParallelBurnInSampler(
+        SimpleRandomWalk(), chain_count=2, min_steps=20, max_steps=100
+    )
+    batch = sampler.sample(api, starts=[0, 9], count=2, seed=5)
+    assert batch.walk_steps >= 2 * 20  # both chains advanced min_steps

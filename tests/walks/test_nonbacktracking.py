@@ -1,0 +1,87 @@
+"""Non-backtracking random walk."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import barabasi_albert_graph, cycle_graph, star_graph
+from repro.osn.api import SocialNetworkAPI
+from repro.rng import ensure_rng
+from repro.walks.autocorr import autocorrelation
+from repro.walks.nonbacktracking import (
+    NonBacktrackingSampler,
+    nbrw_step,
+    run_nbrw_walk,
+)
+from repro.walks.walker import run_walk
+from repro.walks.transitions import SimpleRandomWalk
+
+
+def test_never_backtracks_when_alternatives_exist(small_ba, rng):
+    walk = run_nbrw_walk(small_ba, start=0, steps=200, seed=rng)
+    for a, b, c in zip(walk.path, walk.path[1:], walk.path[2:]):
+        if small_ba.degree(b) > 1:
+            assert c != a, "backtracked despite alternatives"
+
+
+def test_degree_one_node_may_backtrack(rng):
+    graph = star_graph(2)  # a single edge 0-1; both endpoints degree 1
+    walk = run_nbrw_walk(graph, start=0, steps=6, seed=rng)
+    assert walk.path == (0, 1, 0, 1, 0, 1, 0)
+
+
+def test_moves_along_edges(small_ba, rng):
+    walk = run_nbrw_walk(small_ba, 0, 100, seed=rng)
+    for u, v in zip(walk.path, walk.path[1:]):
+        assert small_ba.has_edge(u, v)
+
+
+def test_cycle_walk_is_deterministic_direction(small_cycle, rng):
+    # On a cycle, no-backtracking forces the walk to keep going one way.
+    walk = run_nbrw_walk(small_cycle, 0, 22, seed=rng)
+    visited = walk.path[1:12]
+    assert len(set(visited)) == 11  # covers the whole ring in 11 steps
+
+
+def test_node_marginal_proportional_to_degree(small_ba, rng):
+    # NBRW's stationary node marginal matches SRW's (∝ degree).
+    counts = np.zeros(30)
+    walk = run_nbrw_walk(small_ba, 0, 60000, seed=rng)
+    for node in walk.path[500:]:
+        counts[node] += 1
+    empirical = counts / counts.sum()
+    degrees = np.array([small_ba.degree(v) for v in small_ba.nodes()], float)
+    expected = degrees / degrees.sum()
+    assert np.max(np.abs(empirical - expected)) < 0.02
+
+
+def test_mixes_faster_than_srw_on_cycle(small_cycle, rng):
+    # The [24] selling point: on cycles SRW diffuses, NBRW ballistically
+    # covers ground, so its position series decorrelates much faster.
+    srw_positions = [
+        float(v) for v in run_walk(small_cycle, SimpleRandomWalk(), 0, 3000, seed=rng).path
+    ]
+    nbrw_positions = [
+        float(v) for v in run_nbrw_walk(small_cycle, 0, 3000, seed=rng).path
+    ]
+    assert autocorrelation(nbrw_positions, 5) < autocorrelation(srw_positions, 5)
+
+
+def test_sampler_batch_interface(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    sampler = NonBacktrackingSampler(min_steps=30, max_steps=300)
+    batch = sampler.sample(api, start=0, count=5, seed=7)
+    assert len(batch) == 5
+    for node, weight in zip(batch.nodes, batch.target_weights):
+        assert weight == small_ba.degree(node)
+
+
+def test_rejects_negative_steps(small_ba, rng):
+    with pytest.raises(ValueError):
+        run_nbrw_walk(small_ba, 0, -1, seed=rng)
+
+
+def test_step_excludes_previous(small_ba, rng):
+    node = max(small_ba.nodes(), key=small_ba.degree)
+    previous = small_ba.neighbors(node)[0]
+    for _ in range(50):
+        assert nbrw_step(small_ba, node, previous, rng) != previous

@@ -1,0 +1,68 @@
+"""Raftery–Lewis diagnostic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.rng import ensure_rng
+from repro.walks.raftery_lewis import raftery_lewis
+from repro.walks.transitions import SimpleRandomWalk
+from repro.walks.walker import run_walk
+
+
+def test_iid_series_prescription_close_to_minimum(rng):
+    result = raftery_lewis(rng.normal(size=20000))
+    # Independent draws: no thinning needed, tiny burn-in, total close to
+    # the binomial minimum.
+    assert result.thinning <= 2
+    assert result.burn_in < 50
+    assert result.dependence_factor < 3.0
+    assert result.minimum_iid_samples > 0
+    assert result.total == result.burn_in + result.further_samples
+
+
+def test_correlated_series_costs_more(rng):
+    iid = rng.normal(size=15000)
+    ar = [0.0]
+    for _ in range(14999):
+        ar.append(0.97 * ar[-1] + rng.normal())
+    cheap = raftery_lewis(iid)
+    costly = raftery_lewis(np.asarray(ar))
+    assert costly.total > 3 * cheap.total
+    assert costly.dependence_factor > cheap.dependence_factor
+
+
+def test_tighter_precision_needs_more_samples(rng):
+    series = rng.normal(size=20000)
+    loose = raftery_lewis(series, precision=0.1)
+    tight = raftery_lewis(series, precision=0.02)
+    assert tight.further_samples > loose.further_samples
+    assert tight.minimum_iid_samples > loose.minimum_iid_samples
+
+
+def test_validations(rng):
+    series = rng.normal(size=1000)
+    with pytest.raises(ConfigurationError):
+        raftery_lewis(series, quantile=0.0)
+    with pytest.raises(ConfigurationError):
+        raftery_lewis(series, precision=0.9)
+    with pytest.raises(ConfigurationError):
+        raftery_lewis(series, probability=1.5)
+    with pytest.raises(ConvergenceError):
+        raftery_lewis(series[:20])
+    with pytest.raises(ConvergenceError):
+        raftery_lewis([1.0] * 100)
+
+
+def test_on_real_walk_degree_series():
+    graph = barabasi_albert_graph(400, 4, seed=9).relabeled()
+    rng = ensure_rng(4)
+    walk = run_walk(graph, SimpleRandomWalk(), 0, 8000, seed=rng)
+    degrees = [float(graph.degree(v)) for v in walk.path]
+    result = raftery_lewis(degrees, quantile=0.5, precision=0.05)
+    # Prescriptions must be positive, finite, and self-consistent.
+    assert result.thinning >= 1
+    assert result.burn_in >= 0
+    assert result.further_samples > 0
+    assert np.isfinite(result.dependence_factor)

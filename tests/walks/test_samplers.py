@@ -1,0 +1,107 @@
+"""Burn-in (many short runs) and one-long-run samplers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.accounting import QueryBudget
+from repro.osn.api import SocialNetworkAPI
+from repro.walks.samplers import BurnInSampler, LongRunSampler, SampleBatch
+from repro.walks.transitions import MetropolisHastingsWalk, SimpleRandomWalk
+
+
+@pytest.fixture
+def api(small_ba):
+    return SocialNetworkAPI(small_ba)
+
+
+def test_burnin_collects_requested_count(api):
+    sampler = BurnInSampler(SimpleRandomWalk(), min_steps=30, max_steps=300)
+    batch = sampler.sample(api, start=0, count=5, seed=1)
+    assert len(batch) == 5
+    assert len(batch.target_weights) == 5
+    assert batch.walk_steps >= 5 * 30
+    assert batch.query_cost == api.query_cost
+    assert batch.sampler == "burnin-srw"
+
+
+def test_burnin_respects_min_steps(api):
+    sampler = BurnInSampler(SimpleRandomWalk(), min_steps=50, max_steps=200)
+    _, steps = sampler.sample_once(api, start=0, seed=2)
+    assert 50 <= steps <= 200
+
+
+def test_burnin_records_target_weights(api, small_ba):
+    sampler = BurnInSampler(SimpleRandomWalk(), min_steps=30, max_steps=200)
+    batch = sampler.sample(api, start=0, count=3, seed=3)
+    for node, weight in zip(batch.nodes, batch.target_weights):
+        assert weight == small_ba.degree(node)
+
+
+def test_burnin_mhrw_weights_uniform(api):
+    sampler = BurnInSampler(MetropolisHastingsWalk(), min_steps=30, max_steps=200)
+    batch = sampler.sample(api, start=0, count=3, seed=4)
+    assert all(w == 1.0 for w in batch.target_weights)
+
+
+def test_burnin_stops_on_budget(small_ba):
+    api = SocialNetworkAPI(small_ba, budget=QueryBudget(10))
+    sampler = BurnInSampler(SimpleRandomWalk(), min_steps=30, max_steps=500)
+    batch = sampler.sample(api, start=0, count=50, seed=5)
+    assert len(batch) < 50
+    assert api.query_cost <= 10
+
+
+def test_burnin_validation():
+    with pytest.raises(ConfigurationError):
+        BurnInSampler(SimpleRandomWalk(), check_every=0)
+    with pytest.raises(ConfigurationError):
+        BurnInSampler(SimpleRandomWalk(), min_steps=10, max_steps=5)
+    sampler = BurnInSampler(SimpleRandomWalk())
+    with pytest.raises(ConfigurationError):
+        sampler.sample(SocialNetworkAPI(barabasi_albert_graph(10, 2, seed=1)), 0, 0)
+
+
+def test_long_run_collects_count(api):
+    sampler = LongRunSampler(SimpleRandomWalk(), burn_in_steps=20, thin=1)
+    batch = sampler.sample(api, start=0, count=40, seed=6)
+    assert len(batch) == 40
+    assert batch.walk_steps == 20 + 40
+    assert batch.sampler == "longrun-srw"
+
+
+def test_long_run_thinning(api):
+    sampler = LongRunSampler(SimpleRandomWalk(), burn_in_steps=10, thin=3)
+    batch = sampler.sample(api, start=0, count=10, seed=7)
+    assert len(batch) == 10
+    assert batch.walk_steps == 10 + 30
+
+
+def test_long_run_cheaper_per_sample_than_burnin(small_ba):
+    # The §6.1 trade-off: amortized burn-in makes long runs cheaper in
+    # steps per sample (at the price of correlated samples).
+    api_short = SocialNetworkAPI(small_ba)
+    short = BurnInSampler(SimpleRandomWalk(), min_steps=30, max_steps=300)
+    short_batch = short.sample(api_short, 0, count=10, seed=8)
+
+    api_long = SocialNetworkAPI(small_ba)
+    long_sampler = LongRunSampler(SimpleRandomWalk(), burn_in_steps=50)
+    long_batch = long_sampler.sample(api_long, 0, count=10, seed=8)
+
+    assert long_batch.walk_steps < short_batch.walk_steps
+
+
+def test_long_run_validation():
+    with pytest.raises(ConfigurationError):
+        LongRunSampler(SimpleRandomWalk(), burn_in_steps=-1)
+    with pytest.raises(ConfigurationError):
+        LongRunSampler(SimpleRandomWalk(), thin=0)
+
+
+def test_sample_batch_extend():
+    a = SampleBatch(nodes=[1], target_weights=[1.0], query_cost=5, walk_steps=10)
+    b = SampleBatch(nodes=[2], target_weights=[2.0], query_cost=8, walk_steps=7)
+    a.extend(b)
+    assert a.nodes == [1, 2]
+    assert a.query_cost == 8
+    assert a.walk_steps == 17

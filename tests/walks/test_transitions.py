@@ -1,0 +1,117 @@
+"""Transit designs: rows, single entries, steps, and target weights."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.graph import Graph
+from repro.markov.matrix import TransitionMatrix
+from repro.walks.transitions import (
+    LazyWalk,
+    MaxDegreeWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+)
+
+ALL_DESIGNS = [
+    SimpleRandomWalk(),
+    MetropolisHastingsWalk(),
+    LazyWalk(SimpleRandomWalk(), 0.3),
+    LazyWalk(MetropolisHastingsWalk(), 0.2),
+]
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS, ids=lambda d: d.name)
+def test_rows_sum_to_one(design, small_ba):
+    for node in small_ba.nodes():
+        row = design.transition_row(small_ba, node)
+        assert sum(row.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in row.values())
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS, ids=lambda d: d.name)
+def test_transition_probability_matches_row(design, small_ba):
+    for node in (0, 5, 17):
+        row = design.transition_row(small_ba, node)
+        candidates = set(row) | {node, (node + 11) % 30}
+        for dest in candidates:
+            assert design.transition_probability(
+                small_ba, node, dest
+            ) == pytest.approx(row.get(dest, 0.0))
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS, ids=lambda d: d.name)
+def test_step_distribution_matches_row(design, small_ba, rng):
+    matrix = TransitionMatrix(small_ba, design)
+    node = 4
+    counts = np.zeros(30)
+    trials = 30000
+    for _ in range(trials):
+        counts[design.step(small_ba, node, rng)] += 1
+    assert np.max(np.abs(counts / trials - matrix.matrix[node])) < 0.015
+
+
+def test_srw_target_is_degree(small_ba):
+    design = SimpleRandomWalk()
+    for node in small_ba.nodes():
+        assert design.target_weight(small_ba, node) == small_ba.degree(node)
+    assert not design.uniform_target()
+
+
+def test_mhrw_target_is_uniform(small_ba):
+    design = MetropolisHastingsWalk()
+    assert design.uniform_target()
+    assert design.target_weight(small_ba, 0) == design.target_weight(small_ba, 7)
+
+
+def test_mhrw_detailed_balance(small_ba):
+    # Uniform target: T(u, v) must equal T(v, u) for all u != v.
+    design = MetropolisHastingsWalk()
+    matrix = TransitionMatrix(small_ba, design).matrix
+    assert np.allclose(matrix, matrix.T)
+
+
+def test_mhrw_self_loops_flag():
+    assert MetropolisHastingsWalk.may_self_loop
+    assert not SimpleRandomWalk.may_self_loop
+
+
+def test_lazy_walk_mixes_self_loop(small_ba):
+    lazy = LazyWalk(SimpleRandomWalk(), 0.4)
+    row = lazy.transition_row(small_ba, 0)
+    assert row[0] >= 0.4
+    assert lazy.target_weight(small_ba, 0) == small_ba.degree(0)
+    assert lazy.may_self_loop
+
+
+def test_lazy_walk_validates_laziness():
+    with pytest.raises(ConfigurationError):
+        LazyWalk(SimpleRandomWalk(), 0.0)
+    with pytest.raises(ConfigurationError):
+        LazyWalk(SimpleRandomWalk(), 1.0)
+
+
+def test_max_degree_walk_uniform_target(small_ba, rng):
+    design = MaxDegreeWalk(small_ba.max_degree())
+    assert design.uniform_target()
+    matrix = TransitionMatrix(small_ba, design)
+    assert np.allclose(
+        matrix.stationary_distribution(), 1.0 / small_ba.number_of_nodes()
+    )
+
+
+def test_max_degree_walk_rejects_undeclared_degree(small_ba):
+    design = MaxDegreeWalk(2)  # the BA graph has nodes of degree > 2
+    hub = max(small_ba.nodes(), key=small_ba.degree)
+    with pytest.raises(ConfigurationError):
+        design.transition_row(small_ba, hub)
+
+
+def test_isolated_node_raises():
+    g = Graph()
+    g.add_node(0)
+    g.add_edge(1, 2)
+    with pytest.raises(GraphError):
+        SimpleRandomWalk().transition_row(g, 0)
+    with pytest.raises(GraphError):
+        MetropolisHastingsWalk().step(g, 0, np.random.default_rng(0))

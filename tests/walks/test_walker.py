@@ -1,0 +1,79 @@
+"""Forward walk execution and trajectory bookkeeping."""
+
+import pytest
+
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.api import SocialNetworkAPI
+from repro.walks.transitions import MetropolisHastingsWalk, SimpleRandomWalk
+from repro.walks.walker import (
+    WalkResult,
+    continue_walk,
+    run_walk,
+    walk_attribute_series,
+)
+
+
+def test_walk_length_and_endpoints(small_ba):
+    walk = run_walk(small_ba, SimpleRandomWalk(), start=0, steps=10, seed=1)
+    assert walk.steps == 10
+    assert len(walk.path) == 11
+    assert walk.start == 0
+    assert walk.end == walk.path[-1]
+    assert walk.position_at(0) == 0
+
+
+def test_walk_moves_along_edges(small_ba):
+    walk = run_walk(small_ba, SimpleRandomWalk(), start=0, steps=25, seed=2)
+    for u, v in zip(walk.path, walk.path[1:]):
+        assert small_ba.has_edge(u, v)  # SRW never self-loops
+
+
+def test_mhrw_walk_may_stay(small_ba):
+    walk = run_walk(small_ba, MetropolisHastingsWalk(), start=0, steps=50, seed=3)
+    for u, v in zip(walk.path, walk.path[1:]):
+        assert u == v or small_ba.has_edge(u, v)
+
+
+def test_walk_deterministic_under_seed(small_ba):
+    a = run_walk(small_ba, SimpleRandomWalk(), 0, 20, seed=42)
+    b = run_walk(small_ba, SimpleRandomWalk(), 0, 20, seed=42)
+    assert a.path == b.path
+
+
+def test_zero_step_walk(small_ba):
+    walk = run_walk(small_ba, SimpleRandomWalk(), 5, 0, seed=1)
+    assert walk.path == (5,)
+    with pytest.raises(ValueError):
+        run_walk(small_ba, SimpleRandomWalk(), 5, -1, seed=1)
+
+
+def test_continue_walk_extends(small_ba):
+    walk = run_walk(small_ba, SimpleRandomWalk(), 0, 5, seed=4)
+    longer = continue_walk(small_ba, SimpleRandomWalk(), walk, 5, seed=5)
+    assert longer.steps == 10
+    assert longer.path[:6] == walk.path
+    with pytest.raises(ValueError):
+        continue_walk(small_ba, SimpleRandomWalk(), walk, -1)
+
+
+def test_walk_over_api_charges_queries(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    walk = run_walk(api, SimpleRandomWalk(), 0, 15, seed=6)
+    # Each step queries the current node; cost equals distinct visited
+    # nodes (excluding the endpoint, whose neighbors were never needed).
+    assert api.query_cost >= len(set(walk.path[:-1]))
+    assert api.query_cost <= small_ba.number_of_nodes()
+
+
+def test_walk_attribute_series_degree(small_ba):
+    walk = run_walk(small_ba, SimpleRandomWalk(), 0, 8, seed=7)
+    series = walk_attribute_series(small_ba, walk, None)
+    assert series == [float(small_ba.degree(v)) for v in walk.path]
+
+
+def test_walk_attribute_series_named(small_ba):
+    small_ba.set_attribute("x", {n: float(n * 2) for n in small_ba.nodes()})
+    api = SocialNetworkAPI(small_ba)
+    walk = run_walk(api, SimpleRandomWalk(), 0, 5, seed=8)
+    series = walk_attribute_series(api, walk, "x")
+    assert series == [2.0 * v for v in walk.path]
