@@ -1,7 +1,5 @@
 """Figure 10: sample quality — error vs number of samples (Google Plus)."""
 
-import numpy as np
-
 from benchmarks.support import run_and_render
 
 

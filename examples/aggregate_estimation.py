@@ -56,7 +56,8 @@ def main() -> None:
     baseline_cost = api.query_cost
 
     api = SocialNetworkAPI(graph, budget=QueryBudget(BUDGET))
-    sampler = we_full_sampler(design, WalkEstimateConfig(diameter_hint=5, crawl_hops=2))
+    config = WalkEstimateConfig(diameter_hint=5, crawl_hops=2)
+    sampler = we_full_sampler(design, config)
     we_batch = sampler.sample(api, start, count=200, seed=SEED)
     we_cost = api.query_cost
 

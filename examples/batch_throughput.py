@@ -1,0 +1,90 @@
+"""Quickstart for the vectorized batch engine: compile once, walk wide.
+
+Shows the full batch pipeline on an in-memory surrogate graph:
+
+1. freeze the graph into CSR form with ``Graph.compile()``;
+2. launch K forward walks at once with ``run_walk_batch`` and compare
+   wall-clock against the one-at-a-time scalar walker;
+3. run a vectorized WALK-ESTIMATE round (``walk_estimate_batch``) and feed
+   its sample arrays straight into the array-native AVG estimator.
+
+The scalar engine (``run_walk`` + ``SocialNetworkAPI``) remains the right
+tool when *query cost* is the metric; the batch engine is for when the
+graph is free and *walks per second* is the metric.
+
+Run:  python examples/batch_throughput.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    SimpleRandomWalk,
+    WalkEstimateConfig,
+    run_walk_batch,
+    walk_estimate_batch,
+)
+from repro.datasets import google_plus_surrogate
+from repro.estimators.aggregates import average_estimate_arrays
+from repro.estimators.metrics import relative_error
+from repro.walks.walker import run_walk
+
+SEED = 7
+STEPS = 100  # forward-walk length
+K = 1024  # batch width
+
+
+def main() -> None:
+    dataset = google_plus_surrogate(nodes=4000, m=12, seed=SEED)
+    graph = dataset.graph
+    truth = dataset.aggregates["degree"]
+    print(f"graph: {graph}")
+
+    # --- compile once: Graph -> CSRGraph ---------------------------------
+    csr = graph.compile()
+    print(f"compiled: {csr}\n")
+
+    design = SimpleRandomWalk()
+
+    # --- scalar engine: K walks, one at a time ---------------------------
+    begin = time.perf_counter()
+    ends = [run_walk(graph, design, 0, STEPS, seed=SEED + i).end for i in range(256)]
+    scalar_secs = time.perf_counter() - begin
+    scalar_rate = 256 * STEPS / scalar_secs
+    print(f"scalar : 256 walks x {STEPS} steps  {scalar_rate:12,.0f} steps/sec")
+
+    # --- batch engine: K walks per array operation -----------------------
+    begin = time.perf_counter()
+    result = run_walk_batch(csr, design, np.zeros(K, dtype=np.int64), STEPS, seed=SEED)
+    batch_secs = time.perf_counter() - begin
+    batch_rate = K * STEPS / batch_secs
+    print(f"batch  : {K} walks x {STEPS} steps  {batch_rate:12,.0f} steps/sec")
+    print(
+        f"speedup: {batch_rate / scalar_rate:.1f}x  (ends: {len(set(ends))} "
+        f"distinct scalar, {len(np.unique(result.ends))} distinct batch)\n"
+    )
+
+    # --- vectorized WALK-ESTIMATE + array fan-in -------------------------
+    we = walk_estimate_batch(
+        csr,
+        design,
+        start=0,
+        k_walks=K,
+        config=WalkEstimateConfig(diameter_hint=4),
+        seed=SEED,
+    )
+    degrees = csr.degrees[csr.positions_of(we.nodes)].astype(float)
+    estimate = average_estimate_arrays(degrees, we.weights)
+    print(
+        f"walk_estimate_batch: {we.nodes.size} samples accepted of {K} "
+        f"(rate {we.acceptance_rate:.2f})"
+    )
+    print(
+        f"AVG degree ~ {estimate:.2f}  true {truth:.2f}  "
+        f"(rel. error {relative_error(estimate, truth):.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

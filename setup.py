@@ -1,10 +1,45 @@
-"""Setuptools shim for offline environments lacking the wheel package.
+"""Package metadata (single-sourced version, declared dependencies).
 
-Modern pip builds editable installs through PEP 660, which requires the
-``wheel`` package; fully offline machines without it can still install via
-``python setup.py develop``.  All project metadata lives in pyproject.toml.
+Kept as a plain ``setup.py`` so fully offline machines without the
+``wheel`` package can still install via ``python setup.py develop``
+(modern pip builds editable installs through PEP 660, which needs it).
+The version is read from ``src/repro/_version.py`` — the single source of
+truth — rather than being restated here.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    text = Path(__file__).parent.joinpath("src", "repro", "_version.py").read_text()
+    match = re.search(r'__version__\s*=\s*"([^"]+)"', text)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/_version.py")
+    return match.group(1)
+
+
+setup(
+    name="walk-not-wait-repro",
+    version=read_version(),
+    description=(
+        "Reproduction of 'Walk, Not Wait: Faster Sampling Over Online "
+        "Social Networks' (VLDB 2015)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=[
+        "numpy>=1.22",
+        "networkx>=2.6",
+    ],
+    extras_require={
+        "dev": [
+            "pytest>=7",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+    },
+)

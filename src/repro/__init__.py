@@ -39,7 +39,7 @@ from repro.errors import (
     RateLimitExceededError,
     ReproError,
 )
-from repro.graphs import Graph
+from repro.graphs import CSRGraph, Graph
 from repro.osn import QueryBudget, SocialNetworkAPI
 from repro.walks import (
     BurnInSampler,
@@ -48,11 +48,13 @@ from repro.walks import (
     MaxDegreeWalk,
     MetropolisHastingsWalk,
     SimpleRandomWalk,
+    run_walk_batch,
 )
 from repro.core import (
     IdealWalk,
     WalkEstimateConfig,
     WalkEstimateSampler,
+    walk_estimate_batch,
     we_crawl_sampler,
     we_full_sampler,
     we_none_sampler,
@@ -71,6 +73,7 @@ __all__ = [
     "ConvergenceError",
     "ExperimentError",
     "Graph",
+    "CSRGraph",
     "SocialNetworkAPI",
     "QueryBudget",
     "SimpleRandomWalk",
@@ -86,4 +89,6 @@ __all__ = [
     "we_crawl_sampler",
     "we_weighted_sampler",
     "we_full_sampler",
+    "run_walk_batch",
+    "walk_estimate_batch",
 ]

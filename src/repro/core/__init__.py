@@ -20,13 +20,19 @@ target distribution by acceptance–rejection:
 
 from repro.core.config import WalkEstimateConfig
 from repro.core.crawl import InitialCrawl
-from repro.core.unbiased import backward_candidates, unbiased_estimate
+from repro.core.unbiased import (
+    backward_candidates,
+    unbiased_estimate,
+    unbiased_estimate_batch,
+)
 from repro.core.weighted import ForwardHistory, weighted_backward_estimate
 from repro.core.estimate import ProbabilityEstimate, ProbabilityEstimator
 from repro.core.rejection import RejectionSampler, ScaleFactorBootstrap
 from repro.core.walk_estimate import (
+    BatchWalkEstimateResult,
     SampleRecord,
     WalkEstimateSampler,
+    walk_estimate_batch,
     we_crawl_sampler,
     we_full_sampler,
     we_none_sampler,
@@ -39,6 +45,7 @@ __all__ = [
     "WalkEstimateConfig",
     "InitialCrawl",
     "unbiased_estimate",
+    "unbiased_estimate_batch",
     "backward_candidates",
     "ForwardHistory",
     "weighted_backward_estimate",
@@ -48,6 +55,8 @@ __all__ = [
     "ScaleFactorBootstrap",
     "WalkEstimateSampler",
     "SampleRecord",
+    "walk_estimate_batch",
+    "BatchWalkEstimateResult",
     "we_none_sampler",
     "we_crawl_sampler",
     "we_weighted_sampler",

@@ -50,6 +50,12 @@ class ScaleFactorBootstrap:
         if ratio > 0.0 and np.isfinite(ratio):
             self._ratios.append(float(ratio))
 
+    def observe_many(self, ratios) -> None:
+        """Record a whole array of ratios at once (same filtering rules)."""
+        ratios = np.asarray(ratios, dtype=float)
+        kept = ratios[(ratios > 0.0) & np.isfinite(ratios)]
+        self._ratios.extend(kept.tolist())
+
     @property
     def observation_count(self) -> int:
         """Number of usable ratios recorded."""
@@ -128,6 +134,52 @@ class RejectionSampler:
         else:
             self.rejected += 1
         return accepted
+
+    # ------------------------------------------------------------------
+    # Vectorized batch decisions
+    # ------------------------------------------------------------------
+    def acceptance_probabilities(self, estimated_p, target_weights) -> np.ndarray:
+        """β(u) for aligned arrays of estimates and target weights.
+
+        Vectorized :meth:`acceptance_probability`: one clamp and one
+        division decide every candidate of a batch simultaneously.
+        """
+        estimated = np.asarray(estimated_p, dtype=float)
+        targets = np.asarray(target_weights, dtype=float)
+        if np.any(targets <= 0.0):
+            bad = float(targets[targets <= 0.0][0])
+            raise ConfigurationError(f"target weight must be positive, got {bad}")
+        if np.any(estimated < 0.0):
+            bad = float(estimated[estimated < 0.0][0])
+            raise EstimationError(f"negative probability estimate {bad}")
+        scale = self.bootstrap.scale_factor()
+        betas = np.ones_like(estimated)
+        positive = estimated > 0.0
+        betas[positive] = np.minimum(
+            1.0, scale * targets[positive] / estimated[positive]
+        )
+        return betas
+
+    def accept_batch(
+        self, estimated_p, target_weights
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flip every candidate's β(u) coin at once.
+
+        Returns ``(accepted, betas)`` — the bool decision mask and the
+        acceptance probabilities the coins were flipped against, computed
+        once so callers never hold betas that diverge from the decisions.
+        Like :meth:`accept`, every positive ratio feeds back into the
+        bootstrap pool, keeping the scale factor adaptive as the batch's
+        candidates are seen.
+        """
+        betas = self.acceptance_probabilities(estimated_p, target_weights)
+        estimated = np.asarray(estimated_p, dtype=float)
+        targets = np.asarray(target_weights, dtype=float)
+        self.bootstrap.observe_many(estimated / targets)
+        accepted = self._rng.random(betas.size) < betas
+        self.accepted += int(accepted.sum())
+        self.rejected += int(betas.size - accepted.sum())
+        return accepted, betas
 
     @property
     def acceptance_rate(self) -> float:

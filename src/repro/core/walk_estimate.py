@@ -23,16 +23,22 @@ variant                   initial crawl   weighted sampling
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
+
+import numpy as np
 
 from repro.core.config import WalkEstimateConfig
 from repro.core.crawl import InitialCrawl
 from repro.core.estimate import ProbabilityEstimator
 from repro.core.rejection import RejectionSampler, ScaleFactorBootstrap
+from repro.core.unbiased import unbiased_estimate_batch
 from repro.core.weighted import ForwardHistory
 from repro.errors import ConfigurationError, QueryBudgetExceededError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.graph import Graph
 from repro.osn.api import SocialNetworkAPI
 from repro.rng import RngLike, ensure_rng
+from repro.walks.batch import run_walk_batch, target_weights_batch
 from repro.walks.samplers import SampleBatch
 from repro.walks.transitions import Node, TransitionDesign
 from repro.walks.walker import run_walk
@@ -214,6 +220,147 @@ class WalkEstimateSampler:
             # filling during the main loop.
             for _ in range(bootstrap.minimum_observations):
                 bootstrap.observe(1.0)
+
+
+# ----------------------------------------------------------------------
+# Vectorized batch front end (CSR backend)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchWalkEstimateResult:
+    """Per-walk arrays from one :func:`walk_estimate_batch` round.
+
+    Everything is aligned by walk index, so estimator fan-in is pure
+    array arithmetic — :func:`repro.estimators.aggregates.average_estimate_arrays`
+    consumes :attr:`nodes` / :attr:`weights` directly.
+    """
+
+    candidates: np.ndarray
+    """Endpoint of every forward walk, shape ``(K,)``."""
+
+    estimates: np.ndarray
+    """Estimated sampling probability ``p̂`` per candidate, shape ``(K,)``."""
+
+    target_weights: np.ndarray
+    """Unnormalized target weight ``q̃`` per candidate, shape ``(K,)``."""
+
+    acceptance: np.ndarray
+    """Acceptance probability β per candidate, shape ``(K,)``."""
+
+    accepted: np.ndarray
+    """Boolean accept/reject mask, shape ``(K,)``."""
+
+    forward_steps: int
+    backward_steps: int
+
+    @property
+    def nodes(self) -> np.ndarray:
+        """Accepted sample nodes (the batch's output), as an array."""
+        return self.candidates[self.accepted]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Target weights of the accepted samples, aligned to :attr:`nodes`."""
+        return self.target_weights[self.accepted]
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of candidates accepted."""
+        if self.accepted.size == 0:
+            return 0.0
+        return float(self.accepted.mean())
+
+    def to_sample_batch(self, sampler: str = "we-batch") -> SampleBatch:
+        """Repackage as a :class:`SampleBatch` for the scalar-era tooling."""
+        return SampleBatch(
+            nodes=[int(n) for n in self.nodes],
+            target_weights=[float(w) for w in self.weights],
+            query_cost=0,
+            walk_steps=self.forward_steps + self.backward_steps,
+            sampler=sampler,
+        )
+
+
+def walk_estimate_batch(
+    graph: Union[Graph, CSRGraph],
+    design: TransitionDesign,
+    start: Node,
+    k_walks: int,
+    config: Optional[WalkEstimateConfig] = None,
+    seed: RngLike = None,
+) -> BatchWalkEstimateResult:
+    """One vectorized WALK-ESTIMATE round: K walks, K estimates, K verdicts.
+
+    The throughput-oriented twin of :class:`WalkEstimateSampler` for free
+    in-memory graphs: K forward walks advance together
+    (:func:`~repro.walks.batch.run_walk_batch`), their endpoints'
+    sampling probabilities are estimated by batched backward walks
+    (:func:`~repro.core.unbiased.unbiased_estimate_batch`), and
+    acceptance–rejection is decided for the whole batch in one vectorized
+    pass.  Because the graph is free, the query-cost heuristics of the
+    online sampler (initial crawl, WS-BW weighting) are deliberately
+    absent — they buy query savings, not wall-clock speed.  Use
+    :class:`WalkEstimateSampler` whenever cost against a
+    :class:`~repro.osn.api.SocialNetworkAPI` is the thing being measured.
+
+    Accepted nodes follow the design's target distribution, so feeding
+    ``result.nodes`` / ``result.weights`` to
+    :func:`~repro.estimators.aggregates.average_estimate_arrays` estimates
+    population aggregates exactly as the scalar pipeline does.  Rejection
+    thins the batch: expect ``len(result.nodes) < k_walks``, and run
+    another round (fresh seed) if more samples are needed.
+    """
+    if k_walks < 1:
+        raise ConfigurationError(f"k_walks must be >= 1, got {k_walks}")
+    config = config if config is not None else WalkEstimateConfig()
+    rng = ensure_rng(seed)
+    csr = graph.compile() if isinstance(graph, Graph) else graph
+    t = config.effective_walk_length
+    repetitions = config.backward_repetitions + config.refine_repetitions
+
+    bootstrap = ScaleFactorBootstrap(percentile=config.scale_percentile)
+    rejection = RejectionSampler(bootstrap, seed=rng)
+
+    # Calibration: a small batch seeds the scale-factor pool (§6.3.2).
+    calibration = run_walk_batch(
+        csr, design, np.full(config.calibration_walks, start), t, seed=rng
+    )
+    light_repetitions = max(3, config.backward_repetitions // 3)
+    calibration_estimates = unbiased_estimate_batch(
+        csr,
+        design,
+        calibration.ends,
+        start,
+        t,
+        seed=rng,
+        repetitions=light_repetitions,
+    )
+    calibration_weights = target_weights_batch(csr, design, calibration.ends)
+    bootstrap.observe_many(calibration_estimates / calibration_weights)
+    if not bootstrap.ready:
+        for _ in range(bootstrap.minimum_observations):
+            bootstrap.observe(1.0)
+
+    # Main round: K candidates, estimated and judged together.
+    walks = run_walk_batch(csr, design, np.full(k_walks, start), t, seed=rng)
+    estimates = unbiased_estimate_batch(
+        csr, design, walks.ends, start, t, seed=rng, repetitions=repetitions
+    )
+    weights = target_weights_batch(csr, design, walks.ends)
+    accepted, betas = rejection.accept_batch(estimates, weights)
+
+    forward = (config.calibration_walks + k_walks) * t
+    backward = (
+        config.calibration_walks * light_repetitions + k_walks * repetitions
+    ) * t
+    return BatchWalkEstimateResult(
+        candidates=walks.ends,
+        estimates=estimates,
+        target_weights=weights,
+        acceptance=betas,
+        accepted=accepted,
+        forward_steps=forward,
+        backward_steps=backward,
+    )
 
 
 # ----------------------------------------------------------------------

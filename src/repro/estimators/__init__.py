@@ -9,6 +9,7 @@ as the distance between the achieved sampling distribution and the target
 
 from repro.estimators.aggregates import (
     average_estimate,
+    average_estimate_arrays,
     importance_weighted_mean,
     plain_mean,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "plain_mean",
     "importance_weighted_mean",
     "average_estimate",
+    "average_estimate_arrays",
     "relative_error",
     "empirical_distribution",
     "l_infinity_bias",

@@ -44,14 +44,37 @@ def importance_weighted_mean(
     if len(values) == 0:
         raise EstimationError("cannot average an empty sample")
     if len(values) != len(target_weights):
-        raise EstimationError(
-            f"{len(values)} values but {len(target_weights)} weights"
-        )
+        raise EstimationError(f"{len(values)} values but {len(target_weights)} weights")
     weights = np.asarray(target_weights, dtype=float)
     if np.any(weights <= 0):
         raise EstimationError("target weights must be positive")
     inverse = 1.0 / weights
     return float(np.dot(np.asarray(values, dtype=float), inverse) / inverse.sum())
+
+
+def average_estimate_arrays(values, target_weights) -> float:
+    """AVG estimate from aligned NumPy arrays, no Python-loop fan-in.
+
+    The array-native twin of :func:`average_estimate` for the batch
+    pipeline: ``values[i]`` is the measured quantity of sample *i* and
+    ``target_weights[i]`` its unnormalized stationary weight ``q̃`` (e.g.
+    :attr:`~repro.core.walk_estimate.BatchWalkEstimateResult.weights`).
+    All-equal weights (uniform target) select the arithmetic mean;
+    otherwise self-normalized importance weighting — the same
+    arithmetic/harmonic rule, decided and computed vectorized.
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(target_weights, dtype=float)
+    if values.size == 0:
+        raise EstimationError("cannot average an empty sample")
+    if values.shape != weights.shape:
+        raise EstimationError(f"{values.size} values but {weights.size} weights")
+    if np.any(weights <= 0):
+        raise EstimationError("target weights must be positive")
+    if np.allclose(weights, weights.flat[0]):
+        return float(values.mean())
+    inverse = 1.0 / weights
+    return float(np.dot(values, inverse) / inverse.sum())
 
 
 def average_estimate(batch: SampleBatch, values: Sequence[float]) -> float:

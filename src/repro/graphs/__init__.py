@@ -8,6 +8,7 @@ reproducible from a seed alone.
 """
 
 from repro.graphs.graph import Graph
+from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import (
     barabasi_albert_graph,
     balanced_tree_graph,
@@ -34,7 +35,12 @@ from repro.graphs.properties import (
     mean_shortest_path_lengths,
     shortest_path_lengths,
 )
-from repro.graphs.convert import from_networkx, to_networkx
+from repro.graphs.convert import (
+    csr_to_graph,
+    from_networkx,
+    graph_to_csr,
+    to_networkx,
+)
 from repro.graphs.io import load_edge_list, save_edge_list
 from repro.graphs.statistics import (
     GraphSummary,
@@ -46,6 +52,7 @@ from repro.graphs.statistics import (
 
 __all__ = [
     "Graph",
+    "CSRGraph",
     "barabasi_albert_graph",
     "balanced_tree_graph",
     "barbell_graph",
@@ -70,6 +77,8 @@ __all__ = [
     "shortest_path_lengths",
     "from_networkx",
     "to_networkx",
+    "graph_to_csr",
+    "csr_to_graph",
     "load_edge_list",
     "save_edge_list",
     "GraphSummary",

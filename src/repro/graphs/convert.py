@@ -1,7 +1,12 @@
-"""Converters between :class:`repro.graphs.Graph` and NetworkX graphs.
+"""Converters between :class:`repro.graphs.Graph` and other representations.
 
-NetworkX is used only at the boundary (interoperability, cross-validation in
-tests); all algorithms in this library run on the native structure.
+Two boundaries live here:
+
+* NetworkX — interoperability and cross-validation in tests; all
+  algorithms in this library run on the native structures.
+* :class:`~repro.graphs.csr.CSRGraph` — the frozen array form the batch
+  walk engine consumes.  :func:`graph_to_csr` / :func:`csr_to_graph` are
+  exact inverses (nodes, edges, and attributes all round-trip).
 """
 
 from __future__ import annotations
@@ -9,7 +14,18 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Graph
+
+
+def graph_to_csr(graph: Graph) -> CSRGraph:
+    """Freeze *graph* into CSR form (alias of :meth:`Graph.compile`)."""
+    return CSRGraph.from_graph(graph)
+
+
+def csr_to_graph(csr: CSRGraph, name: str | None = None) -> Graph:
+    """Thaw a :class:`CSRGraph` back into a mutable :class:`Graph`."""
+    return csr.to_graph(name=name)
 
 
 def to_networkx(graph: Graph) -> "nx.Graph":

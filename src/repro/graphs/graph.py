@@ -16,9 +16,12 @@ the rest of the library:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import GraphError, NodeNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.csr import CSRGraph
 
 Node = int
 
@@ -290,6 +293,17 @@ class Graph:
             if restricted:
                 sub.set_attribute(attr, restricted)
         return sub
+
+    def compile(self) -> "CSRGraph":
+        """Freeze into a :class:`~repro.graphs.csr.CSRGraph` for batch walking.
+
+        The CSR form is a read-only snapshot: later mutations of this graph
+        do not propagate to it.  Compile once the topology is final and the
+        workload shifts to throughput (many walks, vectorized estimation).
+        """
+        from repro.graphs.csr import CSRGraph
+
+        return CSRGraph.from_graph(self)
 
     def relabeled(self, name: Optional[str] = None) -> "Graph":
         """Copy with nodes relabeled to ``0..n-1`` in sorted-id order.

@@ -15,6 +15,14 @@ from repro.walks.transitions import (
     TransitionDesign,
 )
 from repro.walks.walker import WalkResult, run_walk
+from repro.walks.batch import (
+    BatchWalkResult,
+    has_batch_kernel,
+    run_nbrw_walk_batch,
+    run_walk_batch,
+    target_weights_batch,
+    walk_attribute_matrix,
+)
 from repro.walks.samplers import BurnInSampler, LongRunSampler, SampleBatch
 from repro.walks.baselines import BFSSampler, DFSSampler, SnowballSampler
 from repro.walks.convergence import GewekeMonitor
@@ -33,6 +41,12 @@ __all__ = [
     "BidirectionalWalk",
     "run_walk",
     "WalkResult",
+    "run_walk_batch",
+    "run_nbrw_walk_batch",
+    "BatchWalkResult",
+    "has_batch_kernel",
+    "target_weights_batch",
+    "walk_attribute_matrix",
     "BurnInSampler",
     "LongRunSampler",
     "SampleBatch",

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.crawl import InitialCrawl
 from repro.errors import ConfigurationError
-from repro.graphs.generators import barabasi_albert_graph, cycle_graph
 from repro.graphs.properties import k_hop_neighborhood
 from repro.markov.matrix import TransitionMatrix
 from repro.osn.api import SocialNetworkAPI

@@ -5,11 +5,7 @@ import pytest
 
 from repro.core.ideal import IdealWalk
 from repro.errors import ConfigurationError
-from repro.graphs.generators import (
-    barabasi_albert_graph,
-    barbell_graph,
-    cycle_graph,
-)
+from repro.graphs.generators import barbell_graph, cycle_graph
 from repro.walks.transitions import LazyWalk, MetropolisHastingsWalk, SimpleRandomWalk
 
 

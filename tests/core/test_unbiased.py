@@ -11,7 +11,6 @@ import pytest
 
 from repro.core.crawl import InitialCrawl
 from repro.core.unbiased import backward_candidates, unbiased_estimate
-from repro.graphs.generators import barabasi_albert_graph
 from repro.markov.matrix import TransitionMatrix
 from repro.osn.api import SocialNetworkAPI
 from repro.walks.transitions import (

@@ -1,6 +1,5 @@
 """WalkEstimateSampler end-to-end behaviour."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import WalkEstimateConfig

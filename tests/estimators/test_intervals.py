@@ -1,6 +1,5 @@
 """Bootstrap confidence intervals."""
 
-import numpy as np
 import pytest
 
 from repro.errors import EstimationError

@@ -6,8 +6,6 @@ enough for the unit-test suite.  Full-size quick/full runs live in
 ``benchmarks/``.
 """
 
-import pytest
-
 from repro.experiments.figures import figure1, figure2, figure3, figure5
 from repro.experiments.extras import backward_variance, long_run
 

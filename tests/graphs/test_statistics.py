@@ -5,7 +5,6 @@ import pytest
 from repro.errors import GraphError
 from repro.graphs.generators import (
     barabasi_albert_graph,
-    complete_graph,
     cycle_graph,
     regular_graph,
     star_graph,

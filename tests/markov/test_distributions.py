@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graphs.generators import barabasi_albert_graph
 from repro.markov.distributions import (
     kl_divergence,
     l_infinity_distance,

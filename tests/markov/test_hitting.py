@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphError
-from repro.graphs.generators import barabasi_albert_graph, cycle_graph
+from repro.graphs.generators import cycle_graph
 from repro.graphs.graph import Graph
 from repro.markov.hitting import (
     expected_hitting_times,
@@ -14,7 +14,6 @@ from repro.markov.hitting import (
 from repro.markov.matrix import TransitionMatrix
 from repro.rng import ensure_rng
 from repro.walks.transitions import LazyWalk, SimpleRandomWalk
-from repro.walks.walker import run_walk
 
 
 @pytest.fixture

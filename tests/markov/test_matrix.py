@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphError
-from repro.graphs.generators import barabasi_albert_graph, cycle_graph
 from repro.graphs.graph import Graph
 from repro.markov.matrix import TransitionMatrix
 from repro.walks.transitions import (

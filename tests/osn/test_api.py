@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import NodeNotFoundError, QueryBudgetExceededError
-from repro.graphs.generators import barabasi_albert_graph
 from repro.osn.accounting import QueryBudget
 from repro.osn.api import SocialNetworkAPI
 from repro.osn.ratelimit import TokenBucketRateLimiter, VirtualClock

@@ -1,7 +1,5 @@
 """Exception hierarchy contracts."""
 
-import pytest
-
 from repro.errors import (
     ConfigurationError,
     ConvergenceError,

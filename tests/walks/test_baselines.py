@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.graphs.generators import barabasi_albert_graph, cycle_graph
+from repro.graphs.generators import barabasi_albert_graph
 from repro.graphs.properties import bfs_distances
 from repro.osn.accounting import QueryBudget
 from repro.osn.api import SocialNetworkAPI

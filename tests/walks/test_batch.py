@@ -1,0 +1,211 @@
+"""Batch walk engine: seed parity with the scalar walker, and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.generators import barabasi_albert_graph, watts_strogatz_graph
+from repro.graphs.graph import Graph
+from repro.walks.batch import (
+    has_batch_kernel,
+    run_nbrw_walk_batch,
+    run_walk_batch,
+    target_weights_batch,
+    walk_attribute_matrix,
+)
+from repro.walks.nonbacktracking import run_nbrw_walk
+from repro.walks.transitions import (
+    BidirectionalWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+)
+from repro.walks.walker import run_walk
+
+
+@pytest.fixture(scope="module")
+def ba_graph():
+    return barabasi_albert_graph(200, 4, seed=13).relabeled()
+
+
+@pytest.fixture(scope="module")
+def ba_csr(ba_graph):
+    return ba_graph.compile()
+
+
+class TestSeedParity:
+    """Same repro.rng seed, K=1 → node-for-node identical trajectories.
+
+    This is the load-bearing property: it certifies the batch kernels
+    consume the generator stream exactly as their scalar twins, making the
+    engines interchangeable rather than statistically similar.
+    """
+
+    @pytest.mark.parametrize("design", [SimpleRandomWalk(), MetropolisHastingsWalk()])
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_k1_matches_scalar(self, ba_graph, ba_csr, design, seed):
+        scalar = run_walk(ba_graph, design, 3, 120, seed=seed)
+        batch = run_walk_batch(ba_csr, design, [3], 120, seed=seed)
+        assert scalar.path == tuple(batch.paths[0])
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_nbrw_k1_matches_scalar(self, ba_graph, ba_csr, seed):
+        scalar = run_nbrw_walk(ba_graph, 3, 120, seed=seed)
+        batch = run_nbrw_walk_batch(ba_csr, [3], 120, seed=seed)
+        assert scalar.path == tuple(batch.paths[0])
+
+    def test_k1_parity_on_ring_lattice(self):
+        # Low-degree regular-ish graph: MHRW rejections are frequent, so
+        # the conditional acceptance draw is exercised heavily.
+        g = watts_strogatz_graph(60, 4, 0.1, seed=3).relabeled()
+        scalar = run_walk(g, MetropolisHastingsWalk(), 0, 200, seed=99)
+        batch = run_walk_batch(g.compile(), MetropolisHastingsWalk(), [0], 200, seed=99)
+        assert scalar.path == tuple(batch.paths[0])
+
+    def test_scalar_walker_runs_directly_on_csr(self, ba_graph, ba_csr):
+        # CSRGraph satisfies NeighborView, so the scalar walker itself
+        # must produce the same trajectory over either backend.
+        on_graph = run_walk(ba_graph, SimpleRandomWalk(), 5, 50, seed=21)
+        on_csr = run_walk(ba_csr, SimpleRandomWalk(), 5, 50, seed=21)
+        assert on_graph.path == on_csr.path
+
+
+class TestBatchShape:
+    def test_result_dimensions(self, ba_csr):
+        result = run_walk_batch(ba_csr, SimpleRandomWalk(), np.zeros(32), 17, seed=1)
+        assert result.paths.shape == (32, 18)
+        assert result.k == 32
+        assert result.steps == 17
+        assert np.all(result.starts == 0)
+        assert np.array_equal(result.positions_at(17), result.ends)
+
+    def test_mixed_starts(self, ba_csr):
+        starts = np.array([0, 5, 9, 14])
+        result = run_walk_batch(ba_csr, SimpleRandomWalk(), starts, 10, seed=2)
+        assert np.array_equal(result.starts, starts)
+
+    def test_every_transition_is_an_edge(self, ba_graph, ba_csr):
+        result = run_walk_batch(ba_csr, SimpleRandomWalk(), np.zeros(16), 40, seed=3)
+        for walk in result.paths:
+            for u, v in zip(walk[:-1], walk[1:]):
+                assert ba_graph.has_edge(int(u), int(v))
+
+    def test_mhrw_transitions_are_edges_or_stays(self, ba_graph, ba_csr):
+        result = run_walk_batch(
+            ba_csr, MetropolisHastingsWalk(), np.zeros(16), 40, seed=4
+        )
+        for walk in result.paths:
+            for u, v in zip(walk[:-1], walk[1:]):
+                assert u == v or ba_graph.has_edge(int(u), int(v))
+
+    def test_nbrw_never_backtracks_off_degree1(self, ba_csr):
+        result = run_nbrw_walk_batch(ba_csr, np.zeros(16), 60, seed=5)
+        degrees = {n: ba_csr.degree(n) for n in ba_csr.nodes()}
+        for walk in result.paths:
+            for a, b, c in zip(walk[:-2], walk[1:-1], walk[2:]):
+                if degrees[int(b)] > 1:
+                    assert c != a
+
+
+class TestEdgeCases:
+    def test_walk_length_zero(self, ba_csr):
+        result = run_walk_batch(ba_csr, SimpleRandomWalk(), [4, 8], 0, seed=6)
+        assert result.paths.tolist() == [[4], [8]]
+        assert result.steps == 0
+
+    def test_nbrw_walk_length_zero(self, ba_csr):
+        result = run_nbrw_walk_batch(ba_csr, [4], 0, seed=6)
+        assert result.paths.tolist() == [[4]]
+
+    def test_negative_steps_rejected(self, ba_csr):
+        with pytest.raises(ValueError):
+            run_walk_batch(ba_csr, SimpleRandomWalk(), [0], -1)
+        with pytest.raises(ValueError):
+            run_nbrw_walk_batch(ba_csr, [0], -1)
+
+    def test_non_1d_starts_rejected(self, ba_csr):
+        with pytest.raises(ConfigurationError, match="must be 1-d"):
+            run_walk_batch(ba_csr, SimpleRandomWalk(), [[0, 1]], 5)
+        with pytest.raises(ConfigurationError, match="must be 1-d"):
+            run_nbrw_walk_batch(ba_csr, [[0, 1]], 5)
+
+    def test_isolated_start_raises(self):
+        g = Graph()
+        g.add_nodes_from([0, 1, 2])
+        g.add_edge(0, 1)
+        with pytest.raises(GraphError, match="no neighbors"):
+            run_walk_batch(g, SimpleRandomWalk(), [0, 2], 5, seed=7)
+        with pytest.raises(GraphError, match="no neighbors"):
+            run_nbrw_walk_batch(g, [2], 5, seed=7)
+
+    def test_isolated_node_elsewhere_is_fine(self):
+        g = Graph()
+        g.add_nodes_from([0, 1, 2])
+        g.add_edge(0, 1)
+        result = run_walk_batch(g, SimpleRandomWalk(), [0, 1], 5, seed=7)
+        assert result.paths.shape == (2, 6)
+
+    def test_unsupported_design_raises(self, ba_csr):
+        with pytest.raises(ConfigurationError, match="no batch kernel"):
+            run_walk_batch(ba_csr, BidirectionalWalk(), [0], 5)
+
+    def test_has_batch_kernel(self):
+        assert has_batch_kernel(SimpleRandomWalk())
+        assert has_batch_kernel(MetropolisHastingsWalk())
+        assert not has_batch_kernel(BidirectionalWalk())
+
+    def test_gappy_node_ids_round_trip_through_paths(self):
+        g = Graph()
+        g.add_edges_from([(10, 20), (20, 40), (40, 10)])
+        result = run_walk_batch(g, SimpleRandomWalk(), [20, 40], 30, seed=8)
+        visited = set(int(v) for v in result.paths.ravel())
+        assert visited <= {10, 20, 40}
+
+
+class TestBatchHelpers:
+    def test_target_weights_srw_are_degrees(self, ba_graph, ba_csr):
+        nodes = np.array([0, 3, 11])
+        weights = target_weights_batch(ba_csr, SimpleRandomWalk(), nodes)
+        expected = [float(ba_graph.degree(int(n))) for n in nodes]
+        assert weights.tolist() == expected
+
+    def test_target_weights_mhrw_are_uniform(self, ba_csr):
+        weights = target_weights_batch(ba_csr, MetropolisHastingsWalk(), [0, 1, 2])
+        assert weights.tolist() == [1.0, 1.0, 1.0]
+
+    def test_walk_attribute_matrix_degrees(self, ba_graph, ba_csr):
+        result = run_walk_batch(ba_csr, SimpleRandomWalk(), [0, 1], 5, seed=9)
+        matrix = walk_attribute_matrix(ba_csr, result)
+        assert matrix.shape == (2, 6)
+        assert matrix[0, 0] == float(ba_graph.degree(int(result.paths[0, 0])))
+
+    def test_walk_attribute_matrix_named(self, ba_graph):
+        ba_graph_copy = ba_graph.copy()
+        ba_graph_copy.set_attribute("x", {n: float(n) for n in ba_graph_copy.nodes()})
+        csr = ba_graph_copy.compile()
+        result = run_walk_batch(csr, SimpleRandomWalk(), [0, 1], 4, seed=10)
+        matrix = walk_attribute_matrix(csr, result, "x")
+        assert np.array_equal(matrix, result.paths.astype(float))
+
+
+class TestStatisticalSanity:
+    def test_srw_visits_follow_degree_bias(self, ba_csr):
+        # Long batch walks: visit frequency should correlate with degree.
+        result = run_walk_batch(
+            ba_csr, SimpleRandomWalk(), np.zeros(64, dtype=np.int64), 400, seed=11
+        )
+        visits = np.bincount(
+            result.paths[:, 200:].ravel(), minlength=len(ba_csr)
+        ).astype(float)
+        degrees = ba_csr.degrees.astype(float)
+        correlation = np.corrcoef(visits, degrees)[0, 1]
+        assert correlation > 0.9
+
+    def test_batches_with_different_seeds_differ(self, ba_csr):
+        a = run_walk_batch(ba_csr, SimpleRandomWalk(), np.zeros(8), 50, seed=1)
+        b = run_walk_batch(ba_csr, SimpleRandomWalk(), np.zeros(8), 50, seed=2)
+        assert not np.array_equal(a.paths, b.paths)
+
+    def test_same_seed_reproduces(self, ba_csr):
+        a = run_walk_batch(ba_csr, MetropolisHastingsWalk(), np.zeros(8), 50, seed=3)
+        b = run_walk_batch(ba_csr, MetropolisHastingsWalk(), np.zeros(8), 50, seed=3)
+        assert np.array_equal(a.paths, b.paths)

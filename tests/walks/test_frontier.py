@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.graphs.generators import barabasi_albert_graph
 from repro.graphs.graph import Graph
 from repro.osn.accounting import QueryBudget
 from repro.osn.api import SocialNetworkAPI

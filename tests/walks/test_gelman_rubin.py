@@ -1,6 +1,5 @@
 """Gelman–Rubin diagnostic and the parallel-chain sampler."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, ConvergenceError

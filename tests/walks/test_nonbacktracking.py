@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.graphs.generators import barabasi_albert_graph, cycle_graph, star_graph
+from repro.graphs.generators import star_graph
 from repro.osn.api import SocialNetworkAPI
-from repro.rng import ensure_rng
 from repro.walks.autocorr import autocorrelation
 from repro.walks.nonbacktracking import (
     NonBacktrackingSampler,

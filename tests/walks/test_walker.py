@@ -2,15 +2,9 @@
 
 import pytest
 
-from repro.graphs.generators import barabasi_albert_graph
 from repro.osn.api import SocialNetworkAPI
 from repro.walks.transitions import MetropolisHastingsWalk, SimpleRandomWalk
-from repro.walks.walker import (
-    WalkResult,
-    continue_walk,
-    run_walk,
-    walk_attribute_series,
-)
+from repro.walks.walker import continue_walk, run_walk, walk_attribute_series
 
 
 def test_walk_length_and_endpoints(small_ba):
