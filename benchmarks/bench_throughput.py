@@ -30,7 +30,12 @@ from repro.graphs.generators import barabasi_albert_graph
 from repro.osn.api import SocialNetworkAPI
 from repro.rng import ensure_rng
 from repro.walks.batch import run_walk_batch
-from repro.walks.transitions import MetropolisHastingsWalk, SimpleRandomWalk
+from repro.walks.transitions import (
+    LazyWalk,
+    MaxDegreeWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+)
 from repro.walks.walker import run_walk
 
 
@@ -73,6 +78,22 @@ def test_mhrw_batch_walk_throughput(benchmark, csr):
     result = benchmark(
         lambda: run_walk_batch(csr, MetropolisHastingsWalk(), starts, 200, seed=rng)
     )
+    assert result.steps == 200 and result.k == 256
+
+
+def test_lazy_srw_batch_walk_throughput(benchmark, csr):
+    rng = ensure_rng(4)
+    design = LazyWalk(SimpleRandomWalk(), 0.5)
+    starts = np.zeros(256, dtype=np.int64)
+    result = benchmark(lambda: run_walk_batch(csr, design, starts, 200, seed=rng))
+    assert result.steps == 200 and result.k == 256
+
+
+def test_maxdeg_batch_walk_throughput(benchmark, csr):
+    rng = ensure_rng(5)
+    design = MaxDegreeWalk(csr.max_degree())
+    starts = np.zeros(256, dtype=np.int64)
+    result = benchmark(lambda: run_walk_batch(csr, design, starts, 200, seed=rng))
     assert result.steps == 200 and result.k == 256
 
 
@@ -162,7 +183,12 @@ def run_comparison(
     """Scalar-vs-batch walk throughput on the synthetic benchmark graph."""
     graph = barabasi_albert_graph(nodes, attach, seed=seed).relabeled()
     csr = graph.compile()
-    designs = {"srw": SimpleRandomWalk(), "mhrw": MetropolisHastingsWalk()}
+    designs = {
+        "srw": SimpleRandomWalk(),
+        "mhrw": MetropolisHastingsWalk(),
+        "lazy-srw": LazyWalk(SimpleRandomWalk(), 0.5),
+        "maxdeg": MaxDegreeWalk(graph.max_degree()),
+    }
     record = {
         "benchmark": "walk_throughput",
         "graph": {

@@ -4,8 +4,11 @@ Shows the full batch pipeline on an in-memory surrogate graph:
 
 1. freeze the graph into CSR form with ``Graph.compile()``;
 2. launch K forward walks at once with ``run_walk_batch`` and compare
-   wall-clock against the one-at-a-time scalar walker;
-3. run a vectorized WALK-ESTIMATE round (``walk_estimate_batch``) and feed
+   wall-clock against the one-at-a-time scalar walker — for **every**
+   design with a batch kernel (SRW, MHRW, LazyWalk, MaxDegreeWalk);
+3. diagnose the whole batch's convergence from one attribute matrix
+   (``diagnose_walk_batch``: per-walk Geweke + ESS, cross-walk PSRF);
+4. run a vectorized WALK-ESTIMATE round (``walk_estimate_batch``) and feed
    its sample arrays straight into the array-native AVG estimator.
 
 The scalar engine (``run_walk`` + ``SocialNetworkAPI``) remains the right
@@ -20,6 +23,9 @@ import time
 import numpy as np
 
 from repro import (
+    LazyWalk,
+    MaxDegreeWalk,
+    MetropolisHastingsWalk,
     SimpleRandomWalk,
     WalkEstimateConfig,
     run_walk_batch,
@@ -28,6 +34,8 @@ from repro import (
 from repro.datasets import google_plus_surrogate
 from repro.estimators.aggregates import average_estimate_arrays
 from repro.estimators.metrics import relative_error
+from repro.walks.batch import walk_attribute_matrix
+from repro.walks.convergence import diagnose_walk_batch
 from repro.walks.walker import run_walk
 
 SEED = 7
@@ -47,22 +55,35 @@ def main() -> None:
 
     design = SimpleRandomWalk()
 
-    # --- scalar engine: K walks, one at a time ---------------------------
-    begin = time.perf_counter()
-    ends = [run_walk(graph, design, 0, STEPS, seed=SEED + i).end for i in range(256)]
-    scalar_secs = time.perf_counter() - begin
-    scalar_rate = 256 * STEPS / scalar_secs
-    print(f"scalar : 256 walks x {STEPS} steps  {scalar_rate:12,.0f} steps/sec")
+    # --- scalar vs. batch, one row per batch-kernel design ---------------
+    designs = {
+        "srw": design,
+        "mhrw": MetropolisHastingsWalk(),
+        "lazy-srw": LazyWalk(SimpleRandomWalk(), 0.5),
+        "maxdeg": MaxDegreeWalk(graph.max_degree()),
+    }
+    print(f"{'design':>9}  {'scalar steps/sec':>17}  {'batch steps/sec':>16}  speedup")
+    for name, d in designs.items():
+        begin = time.perf_counter()
+        for i in range(256):
+            run_walk(graph, d, 0, STEPS, seed=SEED + i)
+        scalar_rate = 256 * STEPS / (time.perf_counter() - begin)
+        begin = time.perf_counter()
+        result = run_walk_batch(csr, d, np.zeros(K, dtype=np.int64), STEPS, seed=SEED)
+        batch_rate = K * STEPS / (time.perf_counter() - begin)
+        print(
+            f"{name:>9}  {scalar_rate:17,.0f}  {batch_rate:16,.0f}  "
+            f"{batch_rate / scalar_rate:6.1f}x"
+        )
+    print()
 
-    # --- batch engine: K walks per array operation -----------------------
-    begin = time.perf_counter()
-    result = run_walk_batch(csr, design, np.zeros(K, dtype=np.int64), STEPS, seed=SEED)
-    batch_secs = time.perf_counter() - begin
-    batch_rate = K * STEPS / batch_secs
-    print(f"batch  : {K} walks x {STEPS} steps  {batch_rate:12,.0f} steps/sec")
+    # --- array-native convergence diagnosis of the last batch ------------
+    matrix = walk_attribute_matrix(csr, result)
+    report = diagnose_walk_batch(matrix)
     print(
-        f"speedup: {batch_rate / scalar_rate:.1f}x  (ends: {len(set(ends))} "
-        f"distinct scalar, {len(np.unique(result.ends))} distinct batch)\n"
+        f"diagnostics ({matrix.shape[0]} walks x {matrix.shape[1]} degrees): "
+        f"geweke pass {report.geweke.converged_fraction:.0%}, "
+        f"PSRF {report.psrf:.3f}, total ESS {report.total_ess:,.0f}\n"
     )
 
     # --- vectorized WALK-ESTIMATE + array fan-in -------------------------

@@ -15,7 +15,10 @@ target distribution by acceptance–rejection:
   scale factor (§6.3.2);
 * :class:`WalkEstimateSampler` — the full algorithm, plus the ablation
   variants WE-None / WE-Crawl / WE-Weighted (§7.1);
-* :class:`IdealWalk` — the oracle IDEAL-WALK used in the theory (§4.1).
+* :class:`IdealWalk` — the oracle IDEAL-WALK used in the theory (§4.1);
+* :class:`LongRunWalkEstimateSampler` /
+  :func:`long_run_walk_estimate_batch` — WALK-ESTIMATE over one (or K
+  simultaneous) continuous long runs (§6.1 future work).
 """
 
 from repro.core.config import WalkEstimateConfig
@@ -39,7 +42,10 @@ from repro.core.walk_estimate import (
     we_weighted_sampler,
 )
 from repro.core.ideal import IdealWalk
-from repro.core.long_run_we import LongRunWalkEstimateSampler
+from repro.core.long_run_we import (
+    LongRunWalkEstimateSampler,
+    long_run_walk_estimate_batch,
+)
 
 __all__ = [
     "WalkEstimateConfig",
@@ -63,4 +69,5 @@ __all__ = [
     "we_full_sampler",
     "IdealWalk",
     "LongRunWalkEstimateSampler",
+    "long_run_walk_estimate_batch",
 ]

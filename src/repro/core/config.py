@@ -110,6 +110,17 @@ class WalkEstimateConfig:
             return self.walk_length
         return 2 * self.diameter_hint + 1
 
+    @property
+    def calibration_repetitions(self) -> int:
+        """Backward repetitions per *calibration* estimate.
+
+        Calibration only needs the ratio pool roughly right, so every
+        WALK-ESTIMATE front end prices its calibration walks at a third of
+        the production budget (floored at 3) — one shared policy, not a
+        per-sampler constant.
+        """
+        return max(3, self.backward_repetitions // 3)
+
     def with_overrides(self, **changes) -> "WalkEstimateConfig":
         """Copy with the given fields replaced (validation re-runs)."""
         return replace(self, **changes)

@@ -26,18 +26,37 @@ Compared to the short-runs WALK-ESTIMATE:
 * the forward walk never restarts, which matters on interfaces where
   "teleporting" back to the start is impossible or where the continuing
   walk keeps re-visiting cached territory.
+
+Two entry points share the design: :class:`LongRunWalkEstimateSampler`
+walks one continuous run over a charged :class:`SocialNetworkAPI` with
+full per-query accounting, and :func:`long_run_walk_estimate_batch` runs
+K continuous walks simultaneously over a compiled
+:class:`~repro.graphs.csr.CSRGraph`, estimating and judging every
+segment endpoint with the vectorized backward estimator — the
+throughput-bound twin, for free in-memory graphs.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
+
+import numpy as np
 
 from repro.core.config import WalkEstimateConfig
 from repro.core.rejection import RejectionSampler, ScaleFactorBootstrap
-from repro.core.weighted import BackwardStats, ForwardHistory, weighted_backward_estimate
+from repro.core.unbiased import unbiased_estimate_batch
+from repro.core.walk_estimate import BatchWalkEstimateResult
+from repro.core.weighted import (
+    BackwardStats,
+    ForwardHistory,
+    weighted_backward_estimate,
+)
 from repro.errors import ConfigurationError, QueryBudgetExceededError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.graph import Graph
 from repro.osn.api import SocialNetworkAPI
 from repro.rng import RngLike, ensure_rng
+from repro.walks.batch import run_walk_batch, target_weights_batch
 from repro.walks.samplers import SampleBatch
 from repro.walks.transitions import Node, TransitionDesign
 from repro.walks.walker import run_walk
@@ -112,9 +131,7 @@ class LongRunWalkEstimateSampler:
                 weight = self.design.target_weight(api, segment.end)
                 if estimate > 0 and weight > 0:
                     bootstrap.observe(estimate / weight)
-            if not bootstrap.ready:
-                for _ in range(bootstrap.minimum_observations):
-                    bootstrap.observe(1.0)
+            bootstrap.ensure_ready()
             while len(batch.nodes) < count and attempts_left > 0:
                 attempts_left -= 1
                 segment = run_walk(api, self.design, current, t, seed=rng)
@@ -130,3 +147,125 @@ class LongRunWalkEstimateSampler:
         batch.walk_steps += stats.steps
         batch.query_cost = api.query_cost
         return batch
+
+
+# ----------------------------------------------------------------------
+# Vectorized batch front end (CSR backend)
+# ----------------------------------------------------------------------
+def long_run_walk_estimate_batch(
+    graph: Union[Graph, CSRGraph],
+    design: TransitionDesign,
+    start,
+    k_runs: int,
+    segments: int,
+    config: Optional[WalkEstimateConfig] = None,
+    seed: RngLike = None,
+) -> BatchWalkEstimateResult:
+    """K continuous long-run WALK-ESTIMATE walks, judged segment by segment.
+
+    The throughput twin of :class:`LongRunWalkEstimateSampler` for free
+    in-memory graphs: *k_runs* walks advance together through one
+    :func:`~repro.walks.batch.run_walk_batch` call of
+    ``(calibration + segments) × t`` steps, the path matrix is cut at
+    every ``t``-step boundary, and each segment endpoint's conditional
+    sampling probability ``p_t(end | entry)`` is estimated by the batched
+    backward estimator with **per-segment entry nodes** — the array-start
+    form of :func:`~repro.core.unbiased.unbiased_estimate_batch`.  One
+    vectorized acceptance–rejection pass then judges every candidate
+    segment of every run at once.
+
+    As in the scalar sampler, a calibration prefix
+    (``ceil(calibration_walks / k_runs)`` segments per run) seeds the
+    scale-factor pool and is never offered as candidates, and the crawl
+    heuristic stays off — segment starts change every ``t`` steps, so no
+    neighborhood is worth pre-paying for.  Accepted endpoints are
+    target-distributed marginally; adjacent segments of the same run still
+    share a boundary node, the Eq. 25 correlation caveat — diagnose with
+    :func:`repro.walks.convergence.diagnose_walk_batch` when independence
+    matters.
+
+    Parameters
+    ----------
+    start:
+        One node (every run begins there) or an array of ``k_runs`` nodes.
+    k_runs:
+        Number of simultaneous long runs.
+    segments:
+        Candidate segments per run *after* calibration; the result holds
+        ``k_runs × segments`` accept/reject verdicts.
+
+    Returns
+    -------
+    BatchWalkEstimateResult
+        Candidate arrays flattened run-major; ``result.nodes`` /
+        ``result.weights`` feed the array-native estimators directly.
+    """
+    if k_runs < 1:
+        raise ConfigurationError(f"k_runs must be >= 1, got {k_runs}")
+    if segments < 1:
+        raise ConfigurationError(f"segments must be >= 1, got {segments}")
+    config = config if config is not None else WalkEstimateConfig()
+    rng = ensure_rng(seed)
+    csr = graph.compile() if isinstance(graph, Graph) else graph
+    t = config.effective_walk_length
+    repetitions = config.backward_repetitions + config.refine_repetitions
+    light_repetitions = config.calibration_repetitions
+    calibration = -(-config.calibration_walks // k_runs)  # ceil division
+    total = calibration + segments
+
+    starts = np.asarray(start, dtype=np.int64)
+    if starts.ndim == 0:
+        starts = np.full(k_runs, int(starts), dtype=np.int64)
+    elif starts.shape != (k_runs,):
+        raise ConfigurationError(
+            f"start must be one node or an array of {k_runs} nodes; got "
+            f"shape {starts.shape}"
+        )
+
+    walks = run_walk_batch(csr, design, starts, total * t, seed=rng)
+    entries = walks.paths[:, 0 : total * t : t]
+    ends = walks.paths[:, t :: t]
+
+    bootstrap = ScaleFactorBootstrap(percentile=config.scale_percentile)
+    rejection = RejectionSampler(bootstrap, seed=rng)
+    calibration_estimates = unbiased_estimate_batch(
+        csr,
+        design,
+        ends[:, :calibration].ravel(),
+        entries[:, :calibration].ravel(),
+        t,
+        seed=rng,
+        repetitions=light_repetitions,
+    )
+    calibration_weights = target_weights_batch(
+        csr, design, ends[:, :calibration].ravel()
+    )
+    bootstrap.observe_many(calibration_estimates / calibration_weights)
+    bootstrap.ensure_ready()
+
+    candidates = ends[:, calibration:].ravel()
+    estimates = unbiased_estimate_batch(
+        csr,
+        design,
+        candidates,
+        entries[:, calibration:].ravel(),
+        t,
+        seed=rng,
+        repetitions=repetitions,
+    )
+    weights = target_weights_batch(csr, design, candidates)
+    accepted, betas = rejection.accept_batch(estimates, weights)
+
+    backward = (
+        k_runs * calibration * light_repetitions
+        + k_runs * segments * repetitions
+    ) * t
+    return BatchWalkEstimateResult(
+        candidates=candidates,
+        estimates=estimates,
+        target_weights=weights,
+        acceptance=betas,
+        accepted=accepted,
+        forward_steps=k_runs * total * t,
+        backward_steps=backward,
+    )

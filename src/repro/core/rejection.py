@@ -66,6 +66,17 @@ class ScaleFactorBootstrap:
         """True once enough ratios exist for a stable percentile."""
         return len(self._ratios) >= self.minimum_observations
 
+    def ensure_ready(self, neutral: float = 1.0) -> None:
+        """Pad the pool with *neutral* ratios until :attr:`ready`.
+
+        The degenerate-calibration fallback every WALK-ESTIMATE front end
+        shares: when calibration produced no usable ratios (e.g. every
+        estimate was 0), a neutral scale lets sampling proceed while the
+        pool keeps filling with real observations.
+        """
+        while not self.ready:
+            self.observe(neutral)
+
     def scale_factor(self) -> float:
         """The bootstrapped stand-in for ``min_v p(v)/q̃(v)``.
 

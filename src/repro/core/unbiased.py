@@ -31,7 +31,10 @@ from repro.errors import ConfigurationError, GraphError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Graph
 from repro.rng import RngLike, ensure_rng
+from repro.walks.batch import check_max_degree
 from repro.walks.transitions import (
+    LazyWalk,
+    MaxDegreeWalk,
     MetropolisHastingsWalk,
     NeighborView,
     Node,
@@ -144,7 +147,10 @@ def _transition_probabilities_batch(
 
     Only called with (source, destination) pairs that are graph edges or
     self-loops — the shape backward sampling produces — so neighbor-set
-    membership needs no checking.
+    membership needs no checking.  Pure-self-loop pairs only ever reach a
+    branch whose design ``may_self_loop`` (the candidate sets exclude the
+    node itself otherwise), except through the LazyWalk recursion, which
+    zeroes a loop-free inner design's self-entry before adding λ.
     """
     if isinstance(design, SimpleRandomWalk):
         return 1.0 / csr.degrees[sources].astype(np.float64)
@@ -156,6 +162,28 @@ def _transition_probabilities_batch(
         if np.any(loops):
             probabilities[loops] = csr.mhrw_selfloop_mass()[sources[loops]]
         return probabilities
+    if isinstance(design, MaxDegreeWalk):
+        degrees = csr.degrees[sources]
+        check_max_degree(csr, design, sources, degrees)
+        probabilities = np.full(sources.size, 1.0 / design.max_degree)
+        loops = sources == destinations
+        if np.any(loops):
+            probabilities[loops] = 1.0 - design.move_probability(
+                degrees[loops].astype(np.float64)
+            )
+        return probabilities
+    if isinstance(design, LazyWalk):
+        probabilities = (1.0 - design.laziness) * _transition_probabilities_batch(
+            csr, design.inner, sources, destinations
+        )
+        loops = sources == destinations
+        if np.any(loops):
+            if not design.inner.may_self_loop:
+                # The inner branch priced (u, u) as if it were an edge;
+                # a loop-free inner design's true self-entry is 0.
+                probabilities[loops] = 0.0
+            probabilities[loops] += design.laziness
+        return probabilities
     raise ConfigurationError(
         f"design {design.name!r} has no vectorized transition probability; "
         "use the scalar unbiased_estimate"
@@ -166,7 +194,7 @@ def unbiased_estimate_batch(
     graph: Union[Graph, CSRGraph],
     design: TransitionDesign,
     nodes,
-    start: Node,
+    start,
     t: int,
     seed: RngLike = None,
     repetitions: int = 1,
@@ -180,9 +208,15 @@ def unbiased_estimate_batch(
     accounting (and hence the crawl-table shortcut) stays on the scalar
     path, which is the one WALK-ESTIMATE uses against a charged API.
 
+    *start* is either one node — all walks share the forward origin, the
+    many-short-runs shape — or an array aligned with *nodes* giving each
+    backward walk its own origin, which is what the long-run batch front
+    end needs (every segment's endpoint is estimated against that
+    segment's entry node).
+
     Returns an array of shape ``(len(nodes),)`` whose entries have
     expectation ``p_t(node)`` — the probability a *t*-step forward walk
-    from *start* ends at each node.
+    from each node's start ends at that node.
     """
     if t < 0:
         raise ValueError(f"t must be >= 0, got {t}")
@@ -191,7 +225,17 @@ def unbiased_estimate_batch(
     csr = graph.compile() if isinstance(graph, Graph) else graph
     rng = ensure_rng(seed)
     targets = csr.positions_of(nodes)
-    start_position = csr.position_of(start)
+    starts = np.asarray(start, dtype=np.int64)
+    if starts.ndim == 0:
+        start_position = np.full(targets.size, csr.position_of(int(starts)))
+    elif starts.ndim == 1 and starts.size == targets.size:
+        start_position = csr.positions_of(starts)
+    else:
+        raise ConfigurationError(
+            f"start must be one node or an array aligned with nodes; got "
+            f"shape {starts.shape} for {targets.size} nodes"
+        )
+    start_position = np.tile(start_position, repetitions)
     current = np.tile(targets, repetitions)
     weights = np.ones(current.size, dtype=np.float64)
     self_loop = 1 if design.may_self_loop else 0

@@ -205,7 +205,7 @@ class WalkEstimateSampler:
         weighted-sampling history, and their endpoint estimates populate
         the ratio pool the 10th-percentile scale factor is drawn from.
         """
-        light_repetitions = max(3, self.config.backward_repetitions // 3)
+        light_repetitions = self.config.calibration_repetitions
         for _ in range(self.config.calibration_walks):
             candidate = self._one_candidate(api, start, t, history, report, rng)
             estimate = estimator.estimate(
@@ -214,12 +214,7 @@ class WalkEstimateSampler:
             target_weight = self.design.target_weight(api, candidate)
             if target_weight > 0 and estimate.mean > 0:
                 bootstrap.observe(estimate.mean / target_weight)
-        if not bootstrap.ready:
-            # Degenerate calibration (e.g. every estimate was 0) — fall back
-            # to a neutral scale so sampling can proceed; the pool keeps
-            # filling during the main loop.
-            for _ in range(bootstrap.minimum_observations):
-                bootstrap.observe(1.0)
+        bootstrap.ensure_ready()
 
 
 # ----------------------------------------------------------------------
@@ -324,7 +319,7 @@ def walk_estimate_batch(
     calibration = run_walk_batch(
         csr, design, np.full(config.calibration_walks, start), t, seed=rng
     )
-    light_repetitions = max(3, config.backward_repetitions // 3)
+    light_repetitions = config.calibration_repetitions
     calibration_estimates = unbiased_estimate_batch(
         csr,
         design,
@@ -336,9 +331,7 @@ def walk_estimate_batch(
     )
     calibration_weights = target_weights_batch(csr, design, calibration.ends)
     bootstrap.observe_many(calibration_estimates / calibration_weights)
-    if not bootstrap.ready:
-        for _ in range(bootstrap.minimum_observations):
-            bootstrap.observe(1.0)
+    bootstrap.ensure_ready()
 
     # Main round: K candidates, estimated and judged together.
     walks = run_walk_batch(csr, design, np.full(k_walks, start), t, seed=rng)

@@ -25,12 +25,29 @@ from repro.walks.batch import (
 )
 from repro.walks.samplers import BurnInSampler, LongRunSampler, SampleBatch
 from repro.walks.baselines import BFSSampler, DFSSampler, SnowballSampler
-from repro.walks.convergence import GewekeMonitor
+from repro.walks.convergence import (
+    BatchConvergenceReport,
+    BatchGewekeResult,
+    GewekeMonitor,
+    diagnose_walk_batch,
+    geweke_batch,
+)
 from repro.walks.frontier import FrontierSampler
-from repro.walks.gelman_rubin import GelmanRubinMonitor, ParallelBurnInSampler
+from repro.walks.gelman_rubin import (
+    GelmanRubinMonitor,
+    ParallelBurnInSampler,
+    psrf_matrix,
+)
 from repro.walks.raftery_lewis import RafteryLewisResult, raftery_lewis
 from repro.walks.nonbacktracking import NonBacktrackingSampler, run_nbrw_walk
-from repro.walks.autocorr import autocorrelation, effective_sample_size
+from repro.walks.autocorr import (
+    autocorrelation,
+    autocorrelation_matrix,
+    effective_sample_size,
+    effective_sample_size_matrix,
+    integrated_autocorrelation_time,
+    integrated_autocorrelation_time_matrix,
+)
 
 __all__ = [
     "TransitionDesign",
@@ -55,12 +72,21 @@ __all__ = [
     "SnowballSampler",
     "FrontierSampler",
     "GewekeMonitor",
+    "BatchGewekeResult",
+    "BatchConvergenceReport",
+    "geweke_batch",
+    "diagnose_walk_batch",
     "GelmanRubinMonitor",
     "ParallelBurnInSampler",
+    "psrf_matrix",
     "raftery_lewis",
     "RafteryLewisResult",
     "NonBacktrackingSampler",
     "run_nbrw_walk",
     "autocorrelation",
+    "autocorrelation_matrix",
     "effective_sample_size",
+    "effective_sample_size_matrix",
+    "integrated_autocorrelation_time",
+    "integrated_autocorrelation_time_matrix",
 ]

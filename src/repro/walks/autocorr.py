@@ -4,6 +4,13 @@ The paper's Eq. 25 (§6.1) explains why one long run is not a free lunch:
 consecutive nodes on a walk are correlated, so the *effective* sample size
 is ``M = h / (1 + 2 Σ_k ρ_k)`` with ``ρ_k`` the lag-k autocorrelation of the
 aggregated attribute along the walk.
+
+Each statistic exists in two forms: a scalar one over a single series,
+and a ``*_matrix`` twin over a ``(K, n)`` matrix — one row per walk, the
+shape :func:`repro.walks.batch.walk_attribute_matrix` produces — that
+diagnoses a whole batch with array passes instead of a Python loop over
+walks.  The matrix forms reproduce the scalar results row for row
+(including NaN propagation), which the batch-diagnostics tests pin.
 """
 
 from __future__ import annotations
@@ -68,3 +75,84 @@ def effective_sample_size(series: Sequence[float], max_lag: int | None = None) -
     if n == 0:
         return 0.0
     return n / integrated_autocorrelation_time(series, max_lag=max_lag)
+
+
+# ----------------------------------------------------------------------
+# Vectorized matrix forms: one row per walk, no Python loop over K
+# ----------------------------------------------------------------------
+def _as_matrix(matrix) -> np.ndarray:
+    values = np.asarray(matrix, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"expected a (K, n) matrix, got shape {values.shape}")
+    return values
+
+
+def autocorrelation_matrix(matrix, lag: int) -> np.ndarray:
+    """Per-row lag-*k* autocorrelation of a ``(K, n)`` matrix, shape ``(K,)``.
+
+    Row *i* equals ``autocorrelation(matrix[i], lag)``: the lag-k
+    autocovariance normalized by the row variance, with constant rows
+    defined to have zero autocorrelation.
+    """
+    if lag < 0:
+        raise ValueError(f"lag must be >= 0, got {lag}")
+    values = _as_matrix(matrix)
+    k, n = values.shape
+    if n < 2 or lag >= n:
+        return np.zeros(k)
+    centered = values - values.mean(axis=1, keepdims=True)
+    variance = np.einsum("ij,ij->i", centered, centered) / n
+    covariance = np.einsum("ij,ij->i", centered[:, : n - lag], centered[:, lag:]) / n
+    degenerate = variance <= 0.0  # NaN variance fails this test -> NaN out
+    safe = np.where(degenerate, 1.0, variance)
+    return np.where(degenerate, 0.0, covariance / safe)
+
+
+def integrated_autocorrelation_time_matrix(
+    matrix, max_lag: int | None = None
+) -> np.ndarray:
+    """Per-row ``τ = 1 + 2 Σ_k ρ_k`` with Geyer truncation, shape ``(K,)``.
+
+    Each row truncates its own sum at its first non-positive
+    autocorrelation, exactly like the scalar
+    :func:`integrated_autocorrelation_time` — rows leave the active set as
+    they terminate, so the lag loop runs only as deep as the slowest-mixing
+    walk needs.
+    """
+    values = _as_matrix(matrix)
+    k, n = values.shape
+    tau = np.ones(k)
+    if n < 2:
+        return tau
+    if max_lag is None:
+        max_lag = n - 1
+    centered = values - values.mean(axis=1, keepdims=True)
+    variance = np.einsum("ij,ij->i", centered, centered) / n
+    # Rows with non-positive variance have rho = 0 at every lag and stop at
+    # lag 1; NaN variance rows keep running and go NaN, as the scalar does.
+    active = np.flatnonzero(~(variance <= 0.0))
+    for lag in range(1, min(max_lag, n - 1) + 1):
+        if active.size == 0:
+            break
+        rows = centered[active]
+        covariance = np.einsum("ij,ij->i", rows[:, : n - lag], rows[:, lag:]) / n
+        rho = covariance / variance[active]
+        alive = ~(rho <= 0.0)
+        tau[active[alive]] += 2.0 * rho[alive]
+        active = active[alive]
+    return tau
+
+
+def effective_sample_size_matrix(matrix, max_lag: int | None = None) -> np.ndarray:
+    """Per-row Eq. 25 effective sample size of a ``(K, n)`` matrix.
+
+    The batch twin of :func:`effective_sample_size` over
+    :func:`repro.walks.batch.walk_attribute_matrix` output: how many
+    i.i.d. samples each walk's attribute series is worth.  Zero-length
+    rows are worth 0 samples.
+    """
+    values = _as_matrix(matrix)
+    k, n = values.shape
+    if n == 0:
+        return np.zeros(k)
+    return n / integrated_autocorrelation_time_matrix(values, max_lag=max_lag)

@@ -9,25 +9,34 @@ in memory.  This module advances **K walks per step** over a frozen
 and (for MHRW) one masked uniform draw move every walk simultaneously.
 
 **Seed-stable parity.**  Each kernel consumes the :mod:`repro.rng` stream
-*exactly* as its scalar twin does per step — one bounded-integer draw per
-walk, plus (MHRW) one uniform per walk whose proposal has higher degree —
-so with the same seed and ``k = 1`` the batch engine reproduces the scalar
-trajectory node for node.  The parity tests in
-``tests/walks/test_batch.py`` pin this property; it is what makes the
-batch engine a drop-in replacement rather than a statistical cousin.
+*exactly* as its scalar twin does per step — the same draws, in the same
+order, conditioned the same way (MHRW's acceptance uniform only when the
+proposal has higher degree, LazyWalk's inner draws only when the laziness
+coin says move, MaxDegreeWalk's neighbor index only when the virtual-degree
+coin says move) — so with the same seed and ``k = 1`` the batch engine
+reproduces the scalar trajectory node for node.  The parity tests in
+``tests/walks/test_batch.py`` and ``tests/walks/test_batch_parity.py`` pin
+this property, and ``tests/walks/test_batch_rng_regression.py`` pins the
+exact draw order against committed golden trajectories; together they are
+what makes the batch engine a drop-in replacement rather than a
+statistical cousin.
 
 **When to use which.**  Scalar ``run_walk`` + ``SocialNetworkAPI`` for
 anything that models query cost; ``run_walk_batch`` over a compiled
 ``CSRGraph`` for throughput work — calibration sweeps, variance studies,
-benchmarks, and the batch WALK-ESTIMATE front end
-(:func:`repro.core.walk_estimate.walk_estimate_batch`).
+benchmarks, and the batch WALK-ESTIMATE front ends
+(:func:`repro.core.walk_estimate.walk_estimate_batch`,
+:func:`repro.core.long_run_we.long_run_walk_estimate_batch`).
 
 Supported designs: :class:`~repro.walks.transitions.SimpleRandomWalk`,
-:class:`~repro.walks.transitions.MetropolisHastingsWalk`, and the
-non-backtracking walk (:func:`run_nbrw_walk_batch`).  Designs whose step
-law cannot be expressed as a fixed per-step array recipe (e.g. the
-restriction-aware :class:`~repro.walks.transitions.BidirectionalWalk`)
-stay on the scalar path.
+:class:`~repro.walks.transitions.MetropolisHastingsWalk`,
+:class:`~repro.walks.transitions.MaxDegreeWalk`,
+:class:`~repro.walks.transitions.LazyWalk` around any supported inner
+design, and the non-backtracking walk (:func:`run_nbrw_walk_batch`).
+Designs whose step law cannot be expressed as a fixed per-step array
+recipe (e.g. the restriction-aware
+:class:`~repro.walks.transitions.BidirectionalWalk`, whose mutual-edge
+check is a per-candidate query) stay on the scalar path.
 """
 
 from __future__ import annotations
@@ -42,6 +51,8 @@ from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Graph
 from repro.rng import RngLike, ensure_rng
 from repro.walks.transitions import (
+    LazyWalk,
+    MaxDegreeWalk,
     MetropolisHastingsWalk,
     SimpleRandomWalk,
     TransitionDesign,
@@ -120,7 +131,10 @@ def _require_alive(degrees: np.ndarray, current: np.ndarray, csr: CSRGraph) -> N
 
 
 def _srw_step(
-    csr: CSRGraph, current: np.ndarray, rng: np.random.Generator
+    csr: CSRGraph,
+    design: TransitionDesign,
+    current: np.ndarray,
+    rng: np.random.Generator,
 ) -> np.ndarray:
     """One vectorized SRW step: uniform neighbor per walk."""
     deg = csr.degrees[current]
@@ -130,7 +144,10 @@ def _srw_step(
 
 
 def _mhrw_step(
-    csr: CSRGraph, current: np.ndarray, rng: np.random.Generator
+    csr: CSRGraph,
+    design: TransitionDesign,
+    current: np.ndarray,
+    rng: np.random.Generator,
 ) -> np.ndarray:
     """One vectorized MHRW step: uniform proposal, degree-ratio acceptance.
 
@@ -151,15 +168,100 @@ def _mhrw_step(
     return np.where(accept, proposal, current)
 
 
+def _lazy_step(
+    csr: CSRGraph,
+    design: LazyWalk,
+    current: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One vectorized lazy step: laziness coin, inner kernel for the movers.
+
+    The inner kernel runs only on the sub-batch whose coin said "move", so
+    per walk the stream sees one uniform plus — conditionally — the inner
+    design's draws, exactly the scalar ``LazyWalk.step`` order.  Walks that
+    stay put this step never touch their neighbor row, so (like the scalar
+    twin) a lazily-parked walk on an isolated node only fails when it
+    actually tries to move.
+    """
+    inner_kernel = _KERNELS[type(design.inner)]
+    coins = rng.random(current.size)
+    moving = coins >= design.laziness
+    nxt = current.copy()
+    if np.any(moving):
+        nxt[moving] = inner_kernel(csr, design.inner, current[moving], rng)
+    return nxt
+
+
+def check_max_degree(
+    csr: CSRGraph,
+    design: MaxDegreeWalk,
+    positions: np.ndarray,
+    degrees: np.ndarray,
+) -> None:
+    """Raise if any position's degree exceeds the design's declared bound.
+
+    The vectorized twin of ``MaxDegreeWalk._check_degree`` — one message,
+    shared by the step kernel and the batch backward estimator.
+    """
+    over = degrees > design.max_degree
+    if np.any(over):
+        raise ConfigurationError(
+            f"node {int(csr.ids_of(positions[over][:1])[0])} has degree "
+            f"{int(degrees[over][0])} > declared max_degree {design.max_degree}"
+        )
+
+
+def _maxdeg_step(
+    csr: CSRGraph,
+    design: MaxDegreeWalk,
+    current: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One vectorized max-degree step: virtual-degree coin, masked move.
+
+    Every node behaves as if padded with self-loops up to ``max_degree``:
+    the walk moves with probability ``d(u)/d_max`` (one uniform per walk)
+    and draws the uniform neighbor index only for the movers — the scalar
+    design's exact conditional stream.
+    """
+    deg = csr.degrees[current]
+    _require_alive(deg, current, csr)
+    check_max_degree(csr, design, current, deg)
+    coins = rng.random(current.size)
+    moving = coins < design.move_probability(deg)
+    nxt = current.copy()
+    if np.any(moving):
+        idx = rng.integers(0, deg[moving])
+        nxt[moving] = csr.indices[csr.indptr[current[moving]] + idx]
+    return nxt
+
+
 _KERNELS = {
     SimpleRandomWalk: _srw_step,
     MetropolisHastingsWalk: _mhrw_step,
+    LazyWalk: _lazy_step,
+    MaxDegreeWalk: _maxdeg_step,
 }
+
+
+def _resolve_kernel(design: TransitionDesign):
+    """The step kernel for *design*, or ``None`` if it has no batch form.
+
+    A :class:`LazyWalk` is only batchable when its inner design is — the
+    lazy kernel delegates the moving sub-batch to the inner kernel, however
+    deeply the wrappers nest.
+    """
+    kernel = _KERNELS.get(type(design))
+    if kernel is None:
+        return None
+    if isinstance(design, LazyWalk) and _resolve_kernel(design.inner) is None:
+        return None
+    return kernel
 
 
 def has_batch_kernel(design: TransitionDesign) -> bool:
     """True if *design* has a vectorized step kernel."""
-    return type(design) in _KERNELS
+    return _resolve_kernel(design) is not None
 
 
 def run_walk_batch(
@@ -177,8 +279,8 @@ def run_walk_batch(
         A :class:`CSRGraph` (preferred) or a :class:`Graph`, compiled on
         the fly.
     design:
-        A design with a batch kernel (SRW or MHRW; see
-        :func:`has_batch_kernel`).
+        A design with a batch kernel (SRW, MHRW, MaxDegreeWalk, or a
+        LazyWalk over any of these; see :func:`has_batch_kernel`).
     starts:
         Array-like of starting node ids, one per walk; repeat a node to
         launch many walks from it (``np.full(k, start)``).
@@ -192,7 +294,7 @@ def run_walk_batch(
     """
     if steps < 0:
         raise ValueError(f"steps must be >= 0, got {steps}")
-    kernel = _KERNELS.get(type(design))
+    kernel = _resolve_kernel(design)
     if kernel is None:
         raise ConfigurationError(
             f"design {design.name!r} has no batch kernel; use the scalar "
@@ -205,7 +307,7 @@ def run_walk_batch(
     paths = np.empty((current.size, steps + 1), dtype=np.int64)
     paths[:, 0] = current
     for t in range(steps):
-        current = kernel(csr, current, rng)
+        current = kernel(csr, design, current, rng)
         paths[:, t + 1] = current
     if not csr.contiguous:
         paths = csr.node_ids[paths]
@@ -282,8 +384,13 @@ def target_weights_batch(
     """Unnormalized stationary weights ``q̃(v)`` for an array of nodes.
 
     Vectorized counterpart of ``design.target_weight`` for the designs the
-    batch engine supports: degree for SRW, 1 for MHRW.
+    batch engine supports: degree for SRW, 1 for the uniform-target designs
+    (MHRW, MaxDegreeWalk); a LazyWalk inherits its inner design's target —
+    laziness rescales the transition law without moving the stationary
+    distribution.
     """
+    if isinstance(design, LazyWalk):
+        return target_weights_batch(graph, design.inner, nodes)
     csr = as_csr(graph)
     positions = csr.positions_of(nodes)
     if isinstance(design, SimpleRandomWalk):

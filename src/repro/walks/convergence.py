@@ -9,6 +9,14 @@ are statistically indistinguishable,
 
 with ``S`` the variance of the window mean.  The paper's default threshold
 is ``Z <= 0.1`` (also tested at 0.01).
+
+The batch engine gets an array-native path: :func:`geweke_batch` evaluates
+every row of a ``(K, n)`` attribute matrix (the shape
+:func:`repro.walks.batch.walk_attribute_matrix` produces) in one
+vectorized pass, and :func:`diagnose_walk_batch` bundles it with the
+per-walk effective sample size and the cross-walk Gelman–Rubin PSRF —
+the full convergence picture of a K-walk batch without a Python loop
+over walks.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, ConvergenceError
+from repro.walks.autocorr import effective_sample_size_matrix
 
 
 @dataclass(frozen=True)
@@ -129,3 +138,149 @@ class GewekeMonitor:
     def reset(self) -> None:
         """Clear the observation series (new walk)."""
         self._series.clear()
+
+
+# ----------------------------------------------------------------------
+# Vectorized batch diagnostics: one row per walk, no Python loop over K
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchGewekeResult:
+    """Per-walk outcome of one vectorized Geweke evaluation.
+
+    Arrays are aligned by walk index (row of the input matrix).
+    """
+
+    z_scores: np.ndarray
+    converged: np.ndarray
+    window_a_means: np.ndarray
+    window_b_means: np.ndarray
+    samples_used: int
+
+    @property
+    def k(self) -> int:
+        """Number of walks evaluated."""
+        return self.z_scores.size
+
+    @property
+    def all_converged(self) -> bool:
+        """True when every walk's Z test passes."""
+        return bool(self.converged.all())
+
+    @property
+    def converged_fraction(self) -> float:
+        """Fraction of walks whose Z test passes."""
+        if self.converged.size == 0:
+            return 0.0
+        return float(self.converged.mean())
+
+
+def geweke_batch(
+    matrix,
+    threshold: float = 0.1,
+    first_fraction: float = 0.1,
+    last_fraction: float = 0.5,
+    min_samples: int = 20,
+) -> BatchGewekeResult:
+    """Geweke Z for every row of a ``(K, n)`` attribute matrix at once.
+
+    The vectorized twin of :class:`GewekeMonitor` over
+    :func:`repro.walks.batch.walk_attribute_matrix` output: row *i*'s
+    Z score and verdict equal a monitor fed walk *i*'s series, window
+    sizing, ddof and degenerate-window conventions included (two constant
+    windows converge iff their means agree; NaN rows yield NaN scores and
+    a not-converged verdict).
+
+    Raises
+    ------
+    ConvergenceError
+        If rows are shorter than *min_samples*.
+    """
+    if threshold <= 0:
+        raise ConfigurationError(f"threshold must be positive, got {threshold}")
+    if not 0 < first_fraction < 1 or not 0 < last_fraction < 1:
+        raise ConfigurationError("window fractions must be in (0, 1)")
+    if first_fraction + last_fraction > 1.0:
+        raise ConfigurationError(
+            "windows overlap: first_fraction + last_fraction must be <= 1"
+        )
+    if min_samples < 4:
+        raise ConfigurationError(f"min_samples must be >= 4, got {min_samples}")
+    values = np.asarray(matrix, dtype=float)
+    if values.ndim != 2:
+        raise ConfigurationError(f"expected a (K, n) matrix, got shape {values.shape}")
+    n = values.shape[1]
+    if n < min_samples:
+        raise ConvergenceError(f"need at least {min_samples} observations, have {n}")
+    size_a = max(2, int(n * first_fraction))
+    size_b = max(2, int(n * last_fraction))
+    window_a = values[:, :size_a]
+    window_b = values[:, n - size_b :]
+    mean_a = window_a.mean(axis=1)
+    mean_b = window_b.mean(axis=1)
+    # Variance of each window *mean*; ddof=1 for the unbiased estimate.
+    var_a = window_a.var(axis=1, ddof=1) / size_a
+    var_b = window_b.var(axis=1, ddof=1) / size_b
+    spread = var_a + var_b
+    degenerate = spread <= 0.0  # NaN spread fails this test -> NaN z-score
+    safe = np.where(degenerate, 1.0, spread)
+    z = np.abs(mean_a - mean_b) / np.sqrt(safe)
+    z[degenerate] = np.where(mean_a[degenerate] == mean_b[degenerate], 0.0, np.inf)
+    return BatchGewekeResult(
+        z_scores=z,
+        converged=z <= threshold,
+        window_a_means=mean_a,
+        window_b_means=mean_b,
+        samples_used=n,
+    )
+
+
+@dataclass(frozen=True)
+class BatchConvergenceReport:
+    """Joint convergence picture of one K-walk batch.
+
+    Combines the three monitors the paper names (§2.2.3, §6.1): per-walk
+    Geweke verdicts, per-walk effective sample sizes (Eq. 25), and the
+    cross-walk Gelman–Rubin PSRF treating the K walks as parallel chains.
+    """
+
+    geweke: BatchGewekeResult
+    ess: np.ndarray
+    psrf: float
+
+    @property
+    def total_ess(self) -> float:
+        """Batch-wide effective sample count (sum over walks)."""
+        return float(self.ess.sum())
+
+    def is_converged(self, psrf_threshold: float = 1.1) -> bool:
+        """All Geweke tests pass and the PSRF is under *psrf_threshold*.
+
+        A single-walk batch has no between-chain information; its NaN PSRF
+        never passes — use more walks when mixing evidence matters.
+        """
+        return self.geweke.all_converged and bool(self.psrf <= psrf_threshold)
+
+
+def diagnose_walk_batch(
+    matrix,
+    threshold: float = 0.1,
+    min_samples: int = 20,
+    max_lag: int | None = None,
+) -> BatchConvergenceReport:
+    """Convergence-diagnose a whole batch from its attribute matrix.
+
+    One call covers the K-walk batch: feed it
+    ``walk_attribute_matrix(csr, run_walk_batch(...))`` and read per-walk
+    Geweke scores, per-walk ESS, and the cross-walk PSRF (NaN when the
+    batch has a single walk — one chain carries no between-chain
+    evidence).
+    """
+    # Imported here: gelman_rubin pulls in the sampler stack, which itself
+    # imports this module for GewekeMonitor (samplers -> convergence).
+    from repro.walks.gelman_rubin import psrf_matrix
+
+    values = np.asarray(matrix, dtype=float)
+    geweke = geweke_batch(values, threshold=threshold, min_samples=min_samples)
+    ess = effective_sample_size_matrix(values, max_lag=max_lag)
+    psrf = psrf_matrix(values) if values.shape[0] >= 2 else float("nan")
+    return BatchConvergenceReport(geweke=geweke, ess=ess, psrf=psrf)

@@ -8,6 +8,13 @@ chains agree.
 
 PSRF compares between-chain and within-chain variance of the monitored
 scalar: values near 1 indicate the chains have forgotten their starts.
+
+For batch-engine output there is an array-native path: feed a ``(K, n)``
+attribute matrix (one row per walk, the shape
+:func:`repro.walks.batch.walk_attribute_matrix` produces) to
+:func:`psrf_matrix` — or to :meth:`GelmanRubinMonitor.observe_matrix`
+when the incremental monitor interface is wanted — and the K walks are
+diagnosed as K parallel chains without a Python loop over walks.
 """
 
 from __future__ import annotations
@@ -29,9 +36,7 @@ class GelmanRubinMonitor:
 
     def __init__(self, threshold: float = 1.1, min_samples_per_chain: int = 10) -> None:
         if threshold <= 1.0:
-            raise ConfigurationError(
-                f"threshold must exceed 1.0, got {threshold}"
-            )
+            raise ConfigurationError(f"threshold must exceed 1.0, got {threshold}")
         if min_samples_per_chain < 2:
             raise ConfigurationError(
                 f"min_samples_per_chain must be >= 2, got {min_samples_per_chain}"
@@ -43,6 +48,21 @@ class GelmanRubinMonitor:
     def observe(self, chain: int, value: float) -> None:
         """Record one monitored observation for *chain*."""
         self._chains.setdefault(chain, []).append(float(value))
+
+    def observe_matrix(self, matrix) -> None:
+        """Record a ``(K, n)`` block of observations, row *i* into chain *i*.
+
+        The batch-engine feeding path: append a
+        :func:`repro.walks.batch.walk_attribute_matrix` result directly
+        instead of looping ``observe`` per walk per step.
+        """
+        values = np.asarray(matrix, dtype=float)
+        if values.ndim != 2:
+            raise ConfigurationError(
+                f"expected a (K, n) matrix, got shape {values.shape}"
+            )
+        for chain, row in enumerate(values):
+            self._chains.setdefault(chain, []).extend(row.tolist())
 
     @property
     def chain_count(self) -> int:
@@ -92,6 +112,39 @@ class GelmanRubinMonitor:
     def reset(self) -> None:
         """Drop all chains."""
         self._chains.clear()
+
+
+def psrf_matrix(matrix) -> float:
+    """Potential scale reduction factor of a ``(K, n)`` chain matrix.
+
+    The array-native twin of :meth:`GelmanRubinMonitor.psrf` for
+    equal-length chains — one row per chain, e.g. a batch walk's
+    :func:`repro.walks.batch.walk_attribute_matrix`.  Same formulation
+    (within-chain variance W, between-chain variance of means B/n,
+    ``R̂ = sqrt(((n-1)/n · W + B/n) / W)``) and the same degenerate-case
+    convention: all-constant chains give 1.0 when their means agree and
+    ``inf`` when they cannot reconcile.
+
+    Raises
+    ------
+    ConvergenceError
+        With fewer than 2 chains (rows) or fewer than 2 samples (columns).
+    """
+    values = np.asarray(matrix, dtype=float)
+    if values.ndim != 2:
+        raise ConfigurationError(f"expected a (K, n) matrix, got shape {values.shape}")
+    m, n = values.shape
+    if m < 2:
+        raise ConvergenceError("Gelman-Rubin needs at least two chains")
+    if n < 2:
+        raise ConvergenceError(f"need at least 2 samples per chain, have {n}")
+    means = values.mean(axis=1)
+    within = float(values.var(axis=1, ddof=1).mean())
+    if within <= 0.0:
+        return 1.0 if np.allclose(means, means[0]) else float("inf")
+    between_over_n = float(means.var(ddof=1))
+    estimate = (n - 1) / n * within + between_over_n
+    return float(np.sqrt(estimate / within))
 
 
 class ParallelBurnInSampler:
@@ -180,9 +233,7 @@ class ParallelBurnInSampler:
                 if len(batch.nodes) >= count:
                     break
                 batch.nodes.append(node)
-                batch.target_weights.append(
-                    self.design.target_weight(api, node)
-                )
+                batch.target_weights.append(self.design.target_weight(api, node))
             batch.query_cost = api.query_cost
         batch.query_cost = api.query_cost
         return batch

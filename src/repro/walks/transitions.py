@@ -191,7 +191,10 @@ class LazyWalk(TransitionDesign):
     Laziness preserves the stationary distribution while guaranteeing
     aperiodicity — the standard fix for (near-)bipartite graphs (the
     paper's footnote 1 assumes a nonzero self-transition for exactly this
-    reason).
+    reason).  The batch engine mirrors this design's draw order exactly
+    (laziness coin first, inner draws only on a move) in
+    :mod:`repro.walks.batch`, so lazy walks run vectorized whenever the
+    inner design does.
     """
 
     name = "lazy"
@@ -243,9 +246,13 @@ class MaxDegreeWalk(TransitionDesign):
     """Max-degree walk: uniform stationary via a degree-capped self-loop.
 
     Moves to a uniform neighbor with probability ``d(u)/d_max`` and stays
-    otherwise.  Requires a global degree bound; included as the classical
+    otherwise — equivalently, every node is padded with virtual self-loops
+    up to degree ``d_max``, so dangling low-degree nodes mostly idle in
+    place.  Requires a global degree bound; included as the classical
     alternative to MHRW for uniform sampling and to exercise
-    WALK-ESTIMATE's design-transparency claim.
+    WALK-ESTIMATE's design-transparency claim.  The vectorized twin in
+    :mod:`repro.walks.batch` consumes the same conditional stream (move
+    coin, then a neighbor index only on a move).
     """
 
     name = "maxdeg"
@@ -255,6 +262,14 @@ class MaxDegreeWalk(TransitionDesign):
         if max_degree < 1:
             raise ConfigurationError(f"max_degree must be >= 1, got {max_degree}")
         self.max_degree = max_degree
+
+    def move_probability(self, degree):
+        """Probability of leaving a node of the given degree, ``d/d_max``.
+
+        Works elementwise on arrays — the batch kernel flips the same coin
+        for a whole batch of degrees at once.
+        """
+        return degree / self.max_degree
 
     def _check_degree(self, view: NeighborView, node: Node, degree: int) -> None:
         if degree > self.max_degree:
@@ -287,7 +302,7 @@ class MaxDegreeWalk(TransitionDesign):
     def step(self, view: NeighborView, node: Node, rng: np.random.Generator) -> Node:
         neighbors = _require_neighbors(view, node)
         self._check_degree(view, node, len(neighbors))
-        if rng.random() < len(neighbors) / self.max_degree:
+        if rng.random() < self.move_probability(len(neighbors)):
             return neighbors[int(rng.integers(0, len(neighbors)))]
         return node
 
@@ -350,9 +365,7 @@ class BidirectionalWalk(TransitionDesign):
         return float(len(self._mutual(view, node)))
 
 
-def sample_from_row(
-    row: Dict[Node, float], rng: np.random.Generator
-) -> Node:
+def sample_from_row(row: Dict[Node, float], rng: np.random.Generator) -> Node:
     """Draw from an explicit transition row (generic fallback; oracle use)."""
     candidates = list(row)
     weights = [row[c] for c in candidates]

@@ -13,6 +13,8 @@ from repro.markov.matrix import TransitionMatrix
 from repro.core.config import WalkEstimateConfig
 from repro.walks.transitions import (
     BidirectionalWalk,
+    LazyWalk,
+    MaxDegreeWalk,
     MetropolisHastingsWalk,
     SimpleRandomWalk,
 )
@@ -75,6 +77,73 @@ class TestUnbiasedEstimateBatch:
             )
         with pytest.raises(ConfigurationError):
             unbiased_estimate_batch(small_csr, BidirectionalWalk(), [0], 0, 3)
+
+    def test_lazy_and_maxdeg_match_exact_probabilities(self, small_graph, small_csr):
+        # The designs gaining batch kernels this layer must also price
+        # their backward transitions correctly — including the lazy
+        # wrapper's λ-augmented self-loops over each kind of inner design.
+        t = 4
+        designs = [
+            LazyWalk(SimpleRandomWalk(), 0.3),
+            MaxDegreeWalk(small_graph.max_degree()),
+            LazyWalk(MaxDegreeWalk(small_graph.max_degree()), 0.4),
+            LazyWalk(MetropolisHastingsWalk(), 0.25),
+        ]
+        nodes = np.arange(small_graph.number_of_nodes())
+        for design in designs:
+            exact = TransitionMatrix(small_graph, design).step_distribution(0, t)
+            estimates = unbiased_estimate_batch(
+                small_csr, design, nodes, 0, t, seed=17, repetitions=12000
+            )
+            assert np.abs(estimates - exact).max() < 0.05, design.name
+
+    def test_maxdeg_underdeclared_bound_raises(self, small_csr):
+        with pytest.raises(ConfigurationError, match="max_degree"):
+            unbiased_estimate_batch(
+                small_csr, MaxDegreeWalk(1), [5], 0, 3, seed=1, repetitions=4
+            )
+
+    def test_array_start_matches_shared_start(self, small_csr):
+        # A constant start array must reproduce the scalar-start result
+        # draw for draw — same stream, same realizations.
+        nodes = np.arange(20)
+        shared = unbiased_estimate_batch(
+            small_csr, SimpleRandomWalk(), nodes, 0, 4, seed=5, repetitions=40
+        )
+        arrayed = unbiased_estimate_batch(
+            small_csr,
+            SimpleRandomWalk(),
+            nodes,
+            np.zeros(20, dtype=np.int64),
+            4,
+            seed=5,
+            repetitions=40,
+        )
+        assert np.array_equal(shared, arrayed)
+
+    def test_per_node_starts_estimate_each_origin(self, small_graph, small_csr):
+        # Each backward walk may target a different forward origin: entry
+        # i's expectation is p_t(node_i | start_i).
+        design = SimpleRandomWalk()
+        t = 3
+        starts = np.array([0, 4, 9], dtype=np.int64)
+        nodes = np.array([7, 7, 7], dtype=np.int64)
+        matrix = TransitionMatrix(small_graph, design)
+        exact = np.array([matrix.step_distribution(int(s), t)[7] for s in starts])
+        estimates = unbiased_estimate_batch(
+            small_csr, design, nodes, starts, t, seed=23, repetitions=8000
+        )
+        assert np.abs(estimates - exact).max() < 0.05
+
+    def test_misaligned_start_array_rejected(self, small_csr):
+        with pytest.raises(ConfigurationError, match="aligned"):
+            unbiased_estimate_batch(
+                small_csr, SimpleRandomWalk(), [0, 1, 2], np.array([0, 1]), 3
+            )
+        with pytest.raises(ConfigurationError, match="aligned"):
+            unbiased_estimate_batch(
+                small_csr, SimpleRandomWalk(), [0], np.zeros((1, 1), dtype=int), 3
+            )
 
 
 class TestBatchRejection:

@@ -4,13 +4,21 @@ import numpy as np
 import pytest
 
 from repro.core.config import WalkEstimateConfig
-from repro.core.long_run_we import LongRunWalkEstimateSampler
+from repro.core.long_run_we import (
+    LongRunWalkEstimateSampler,
+    long_run_walk_estimate_batch,
+)
 from repro.errors import ConfigurationError
 from repro.estimators.metrics import empirical_distribution, l_infinity_bias
 from repro.graphs.generators import barabasi_albert_graph
 from repro.osn.accounting import QueryBudget
 from repro.osn.api import SocialNetworkAPI
-from repro.walks.transitions import MetropolisHastingsWalk, SimpleRandomWalk
+from repro.walks.transitions import (
+    LazyWalk,
+    MaxDegreeWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+)
 
 
 @pytest.fixture
@@ -85,3 +93,97 @@ def test_distribution_close_to_target(graph):
     pdf = empirical_distribution(nodes, n)
     noise = np.sqrt(target.max() / len(nodes))
     assert l_infinity_bias(pdf, target) < 8 * noise
+
+
+# ----------------------------------------------------------------------
+# Vectorized batch front end
+# ----------------------------------------------------------------------
+class TestLongRunBatch:
+    def test_result_arrays_are_aligned(self, graph, config):
+        result = long_run_walk_estimate_batch(
+            graph, SimpleRandomWalk(), 0, k_runs=8, segments=5, config=config, seed=1
+        )
+        assert result.candidates.shape == (40,)
+        assert result.estimates.shape == (40,)
+        assert result.target_weights.shape == (40,)
+        assert result.acceptance.shape == (40,)
+        assert result.accepted.dtype == bool
+        assert result.nodes.size == int(result.accepted.sum())
+        assert result.forward_steps > 0 and result.backward_steps > 0
+
+    def test_forward_steps_count_calibration_prefix(self, graph, config):
+        # calibration_walks=5 over 8 runs -> 1 calibration segment each.
+        result = long_run_walk_estimate_batch(
+            graph, SimpleRandomWalk(), 0, k_runs=8, segments=5, config=config, seed=1
+        )
+        t = config.effective_walk_length
+        assert result.forward_steps == 8 * (1 + 5) * t
+
+    def test_deterministic_for_seed(self, graph, config):
+        a = long_run_walk_estimate_batch(
+            graph.compile(), SimpleRandomWalk(), 0, 8, 4, config=config, seed=5
+        )
+        b = long_run_walk_estimate_batch(
+            graph.compile(), SimpleRandomWalk(), 0, 8, 4, config=config, seed=5
+        )
+        assert np.array_equal(a.candidates, b.candidates)
+        assert np.array_equal(a.accepted, b.accepted)
+
+    def test_per_run_start_array(self, graph, config):
+        starts = np.array([0, 3, 5, 7], dtype=np.int64)
+        result = long_run_walk_estimate_batch(
+            graph, SimpleRandomWalk(), starts, k_runs=4, segments=3,
+            config=config, seed=2,
+        )
+        assert result.candidates.shape == (12,)
+
+    def test_validation(self, graph, config):
+        with pytest.raises(ConfigurationError):
+            long_run_walk_estimate_batch(graph, SimpleRandomWalk(), 0, 0, 3)
+        with pytest.raises(ConfigurationError):
+            long_run_walk_estimate_batch(graph, SimpleRandomWalk(), 0, 4, 0)
+        with pytest.raises(ConfigurationError, match="array of 4"):
+            long_run_walk_estimate_batch(
+                graph, SimpleRandomWalk(), np.array([0, 1]), 4, 3, config=config
+            )
+
+    @pytest.mark.parametrize(
+        "design_factory",
+        [
+            lambda g: MetropolisHastingsWalk(),
+            lambda g: LazyWalk(SimpleRandomWalk(), 0.3),
+            lambda g: MaxDegreeWalk(g.max_degree()),
+        ],
+    )
+    def test_new_kernel_designs_run_end_to_end(self, graph, config, design_factory):
+        design = design_factory(graph)
+        result = long_run_walk_estimate_batch(
+            graph, design, 0, k_runs=6, segments=4, config=config, seed=3
+        )
+        assert result.candidates.shape == (24,)
+        if design.uniform_target():
+            assert np.all(result.target_weights == 1.0)
+
+    def test_distribution_close_to_target(self, graph):
+        # Same marginal-law check as the scalar sampler: accepted segment
+        # endpoints of the K simultaneous long runs follow the
+        # degree-proportional target.
+        config = WalkEstimateConfig(
+            walk_length=6,
+            backward_repetitions=12,
+            calibration_walks=8,
+            scale_percentile=10.0,
+        )
+        n = graph.number_of_nodes()
+        degrees = np.array([graph.degree(v) for v in range(n)], float)
+        target = degrees / degrees.sum()
+        nodes = []
+        for rep in range(4):
+            result = long_run_walk_estimate_batch(
+                graph, SimpleRandomWalk(), 0, k_runs=64, segments=10,
+                config=config, seed=rep,
+            )
+            nodes.extend(int(v) for v in result.nodes)
+        pdf = empirical_distribution(nodes, n)
+        noise = np.sqrt(target.max() / len(nodes))
+        assert l_infinity_bias(pdf, target) < 8 * noise

@@ -1,0 +1,205 @@
+"""Vectorized convergence diagnostics vs. the per-walk scalar paths.
+
+The array-native Geweke / Gelman-Rubin / autocorrelation-ESS functions
+promise row-for-row agreement with the existing scalar implementations on
+shared inputs — that equivalence (tolerance-pinned here) is what lets the
+batch engine swap its ``(K, n)`` attribute matrices into the diagnosis
+layer without changing any verdict.  A shape/NaN sweep pins the edge
+cases: constant rows, single-walk batches, undersized series, and NaN
+propagation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.walks.autocorr import (
+    autocorrelation,
+    autocorrelation_matrix,
+    effective_sample_size,
+    effective_sample_size_matrix,
+    integrated_autocorrelation_time,
+    integrated_autocorrelation_time_matrix,
+)
+from repro.walks.batch import run_walk_batch, walk_attribute_matrix
+from repro.walks.convergence import (
+    GewekeMonitor,
+    diagnose_walk_batch,
+    geweke_batch,
+)
+from repro.walks.gelman_rubin import GelmanRubinMonitor, psrf_matrix
+from repro.walks.transitions import SimpleRandomWalk
+
+
+@pytest.fixture(scope="module")
+def attribute_matrix():
+    """A real batch-engine attribute matrix: 8 SRW degree series."""
+    graph = barabasi_albert_graph(200, 4, seed=13).relabeled()
+    csr = graph.compile()
+    result = run_walk_batch(
+        csr, SimpleRandomWalk(), np.zeros(8, dtype=np.int64), 120, seed=2
+    )
+    return walk_attribute_matrix(csr, result)
+
+
+@pytest.fixture(scope="module")
+def mixed_matrix():
+    """Synthetic rows exercising trends, noise, and a constant chain."""
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(size=(7, 150)).cumsum(axis=1) * 0.1
+    matrix += rng.normal(size=(7, 150))
+    matrix[3] = 42.0  # constant row
+    return matrix
+
+
+class TestAutocorrelationAgreement:
+    @pytest.mark.parametrize("lag", [0, 1, 2, 5, 50, 149, 200])
+    def test_autocorrelation_rows_match_scalar(self, mixed_matrix, lag):
+        vectorized = autocorrelation_matrix(mixed_matrix, lag)
+        scalar = np.array([autocorrelation(row, lag) for row in mixed_matrix])
+        assert np.allclose(vectorized, scalar, atol=1e-12)
+
+    @pytest.mark.parametrize("max_lag", [None, 1, 5, 40])
+    def test_iat_rows_match_scalar(self, mixed_matrix, max_lag):
+        vectorized = integrated_autocorrelation_time_matrix(mixed_matrix, max_lag)
+        scalar = np.array(
+            [integrated_autocorrelation_time(row, max_lag) for row in mixed_matrix]
+        )
+        assert np.allclose(vectorized, scalar, atol=1e-10)
+
+    def test_ess_rows_match_scalar(self, attribute_matrix):
+        vectorized = effective_sample_size_matrix(attribute_matrix)
+        scalar = np.array([effective_sample_size(row) for row in attribute_matrix])
+        assert np.allclose(vectorized, scalar, atol=1e-9)
+
+    def test_constant_row_is_one_tau_full_ess(self):
+        matrix = np.full((3, 50), 7.0)
+        assert np.array_equal(integrated_autocorrelation_time_matrix(matrix), [1, 1, 1])
+        assert np.array_equal(effective_sample_size_matrix(matrix), [50, 50, 50])
+
+    def test_negative_lag_rejected(self, mixed_matrix):
+        with pytest.raises(ValueError, match="lag"):
+            autocorrelation_matrix(mixed_matrix, -1)
+
+    def test_non_matrix_input_rejected(self):
+        with pytest.raises(ValueError, match="matrix"):
+            autocorrelation_matrix(np.arange(10.0), 1)
+
+
+class TestGewekeAgreement:
+    def test_rows_match_monitor(self, attribute_matrix):
+        batch = geweke_batch(attribute_matrix)
+        for i, row in enumerate(attribute_matrix):
+            monitor = GewekeMonitor()
+            monitor.observe_many(row)
+            result = monitor.evaluate()
+            assert np.isclose(batch.z_scores[i], result.z_score, atol=1e-12)
+            assert bool(batch.converged[i]) == result.converged
+            assert np.isclose(batch.window_a_means[i], result.window_a_mean)
+            assert np.isclose(batch.window_b_means[i], result.window_b_mean)
+            assert batch.samples_used == result.samples_used
+
+    def test_constant_rows_follow_monitor_convention(self):
+        matrix = np.full((2, 40), 3.0)
+        matrix[1, :4] = 9.0  # windows constant but irreconcilable means
+        batch = geweke_batch(matrix)
+        assert batch.z_scores[0] == 0.0 and batch.converged[0]
+        assert batch.z_scores[1] == np.inf and not batch.converged[1]
+
+    def test_undersized_series_raises(self):
+        with pytest.raises(ConvergenceError, match="observations"):
+            geweke_batch(np.zeros((3, 10)))
+
+    def test_parameter_validation_matches_monitor(self):
+        matrix = np.zeros((2, 40))
+        for kwargs in (
+            {"threshold": 0.0},
+            {"first_fraction": 0.0},
+            {"first_fraction": 0.7, "last_fraction": 0.5},
+            {"min_samples": 3},
+        ):
+            with pytest.raises(ConfigurationError):
+                geweke_batch(matrix, **kwargs)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ConfigurationError, match="matrix"):
+            geweke_batch(np.zeros(40))
+
+
+class TestGelmanRubinAgreement:
+    def test_matrix_matches_monitor(self, attribute_matrix):
+        monitor = GelmanRubinMonitor(min_samples_per_chain=2)
+        monitor.observe_matrix(attribute_matrix)
+        assert np.isclose(psrf_matrix(attribute_matrix), monitor.psrf(), atol=1e-12)
+
+    def test_identical_chains_give_sub_unity_floor(self):
+        # Zero between-chain variance leaves R-hat at its sqrt((n-1)/n)
+        # floor — the same value the scalar monitor reports.
+        row = np.sin(np.arange(30.0))
+        matrix = np.vstack([row, row, row])
+        assert psrf_matrix(matrix) == pytest.approx(np.sqrt(29 / 30))
+        monitor = GelmanRubinMonitor(min_samples_per_chain=2)
+        monitor.observe_matrix(matrix)
+        assert psrf_matrix(matrix) == pytest.approx(monitor.psrf())
+
+    def test_constant_disagreeing_chains_diverge(self):
+        matrix = np.vstack([np.zeros(20), np.ones(20)])
+        assert psrf_matrix(matrix) == np.inf
+
+    def test_single_chain_raises(self):
+        with pytest.raises(ConvergenceError, match="two chains"):
+            psrf_matrix(np.zeros((1, 30)))
+
+    def test_short_chains_raise(self):
+        with pytest.raises(ConvergenceError, match="samples"):
+            psrf_matrix(np.zeros((3, 1)))
+
+    def test_observe_matrix_validates_shape(self):
+        with pytest.raises(ConfigurationError, match="matrix"):
+            GelmanRubinMonitor().observe_matrix(np.zeros(5))
+
+
+class TestShapeAndNaNSweep:
+    def test_nan_propagates_not_masks(self, mixed_matrix):
+        # A NaN observation must poison its own row's statistics — the
+        # scalar implementations return NaN, and silently dropping the row
+        # would report convergence evidence that does not exist.
+        poisoned = mixed_matrix.copy()
+        poisoned[2, 10] = np.nan
+        assert np.isnan(integrated_autocorrelation_time_matrix(poisoned)[2])
+        assert np.isnan(effective_sample_size_matrix(poisoned)[2])
+        batch = geweke_batch(poisoned)
+        assert np.isnan(batch.z_scores[2]) and not batch.converged[2]
+        # NaN row matches the scalar paths exactly.
+        assert np.isnan(integrated_autocorrelation_time(poisoned[2]))
+        # Clean rows are untouched.
+        clean = integrated_autocorrelation_time_matrix(mixed_matrix)
+        assert np.allclose(
+            integrated_autocorrelation_time_matrix(poisoned)[[0, 1, 3]],
+            clean[[0, 1, 3]],
+        )
+
+    def test_empty_and_tiny_matrices(self):
+        assert autocorrelation_matrix(np.zeros((0, 10)), 1).shape == (0,)
+        assert effective_sample_size_matrix(np.zeros((4, 0))).tolist() == [0] * 4
+        assert integrated_autocorrelation_time_matrix(np.zeros((2, 1))).tolist() == [
+            1,
+            1,
+        ]
+
+    def test_single_walk_batch_diagnosis(self, attribute_matrix):
+        report = diagnose_walk_batch(attribute_matrix[:1])
+        assert report.geweke.k == 1
+        assert report.ess.shape == (1,)
+        assert np.isnan(report.psrf)
+        assert not report.is_converged()  # one chain can never attest mixing
+
+    def test_full_batch_diagnosis_shapes(self, attribute_matrix):
+        report = diagnose_walk_batch(attribute_matrix)
+        k = attribute_matrix.shape[0]
+        assert report.geweke.z_scores.shape == (k,)
+        assert report.ess.shape == (k,)
+        assert np.isfinite(report.psrf)
+        assert report.total_ess == pytest.approx(report.ess.sum())
+        assert 0.0 <= report.geweke.converged_fraction <= 1.0
