@@ -61,7 +61,9 @@ def main() -> None:
     we_batch = sampler.sample(api, start, count=200, seed=SEED)
     we_cost = api.query_cost
 
-    print(f"{'aggregate':14s} {'SRW est':>10s} {'err':>7s}   {'WE est':>10s} {'err':>7s}")
+    print(
+        f"{'aggregate':14s} {'SRW est':>10s} {'err':>7s}   {'WE est':>10s} {'err':>7s}"
+    )
     baseline = estimate_all(dataset, baseline_batch)
     walk_estimate = estimate_all(dataset, we_batch)
     for attribute in sorted(dataset.aggregates):

@@ -1,0 +1,31 @@
+"""Tiny shared array helpers for the batch layers.
+
+One idiom shows up everywhere a batch component asks "which of these ids
+do I know about?" — a binary search into a sorted id array followed by a
+clamped equality check.  It is subtle enough (the ``np.minimum`` clamp is
+what keeps the probe of past-the-end positions in bounds) that every
+copy is a bug waiting to happen, so it lives here once.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def sorted_lookup(sorted_ids: np.ndarray, values) -> Tuple[np.ndarray, np.ndarray]:
+    """Locate *values* in the sorted array *sorted_ids*.
+
+    Returns ``(positions, found)``: ``positions[i]`` is the insertion
+    point of ``values[i]`` and is only a valid index into *sorted_ids*
+    where ``found[i]`` is True (i.e. the value is actually present).
+    """
+    values = np.asarray(values)
+    positions = np.searchsorted(sorted_ids, values)
+    if sorted_ids.size == 0:
+        return positions, np.zeros(values.shape, dtype=bool)
+    found = (positions < sorted_ids.size) & (
+        sorted_ids[np.minimum(positions, sorted_ids.size - 1)] == values
+    )
+    return positions, found

@@ -8,7 +8,9 @@ target distribution by acceptance–rejection:
 * :class:`InitialCrawl` — h-hop crawl with an exact ``p_s(v), s ≤ h`` table;
 * :func:`unbiased_estimate` — UNBIASED-ESTIMATE (Algorithm 1);
 * :class:`ForwardHistory` / :func:`weighted_backward_estimate` — WS-BW
-  (Algorithm 2, importance-corrected);
+  (Algorithm 2, importance-corrected) — plus :func:`ws_bw_batch`, the
+  crawl-aware batched form for the charged-API regime (K backward walks
+  per array operation, scalar-parity at K=1);
 * :class:`ProbabilityEstimator` — ESTIMATE with variance-proportional
   repetition budget (Algorithm 3);
 * :class:`RejectionSampler` — acceptance–rejection with the bootstrapped
@@ -28,7 +30,12 @@ from repro.core.unbiased import (
     unbiased_estimate,
     unbiased_estimate_batch,
 )
-from repro.core.weighted import ForwardHistory, weighted_backward_estimate
+from repro.core.weighted import (
+    BackwardStats,
+    ForwardHistory,
+    weighted_backward_estimate,
+    ws_bw_batch,
+)
 from repro.core.estimate import ProbabilityEstimate, ProbabilityEstimator
 from repro.core.rejection import RejectionSampler, ScaleFactorBootstrap
 from repro.core.walk_estimate import (
@@ -53,8 +60,10 @@ __all__ = [
     "unbiased_estimate",
     "unbiased_estimate_batch",
     "backward_candidates",
+    "BackwardStats",
     "ForwardHistory",
     "weighted_backward_estimate",
+    "ws_bw_batch",
     "ProbabilityEstimator",
     "ProbabilityEstimate",
     "RejectionSampler",

@@ -13,13 +13,24 @@ walk can therefore stop as soon as its remaining depth ``s`` drops to ``h``
 and read off the exact value ``p_s(x)`` (zero for nodes outside the
 support), which is both cheaper and lower-variance than recursing to the
 base case.
+
+The crawl itself proceeds layer by layer, fetching each BFS frontier with
+one ``neighbors_batch`` call when the view supports it — the queried node
+set (and hence the §2.4 query cost) is identical to the node-at-a-time
+BFS, but the accounting settles once per layer.  The resulting ``p_s``
+tables serve two grains: :meth:`InitialCrawl.probability` for the scalar
+backward walk, and :meth:`InitialCrawl.probabilities_batch` — one sorted
+array per step, shared across K simultaneous backward walks from the same
+start — for the batched WS-BW estimator.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.arrays import sorted_lookup
 from repro.errors import ConfigurationError
 from repro.walks.transitions import NeighborView, Node, TransitionDesign
 
@@ -55,24 +66,39 @@ class InitialCrawl:
         self.hops = hops
         self._distances = self._crawl()
         self._tables = self._exact_probability_tables()
+        self._array_tables: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [
+            None
+        ] * (hops + 1)
+
+    def _fetch_layer(self, nodes: List[Node]) -> List[Tuple[Node, ...]]:
+        """Neighbor rows for one BFS layer, batched when the view allows."""
+        fetch = getattr(self.api, "neighbors_batch", None)
+        if fetch is not None:
+            return fetch(np.asarray(nodes, dtype=np.int64))
+        return [self.api.neighbors(node) for node in nodes]
 
     def _crawl(self) -> Dict[Node, int]:
-        """BFS to depth ``hops``; queries every node within that distance."""
+        """Layered BFS to depth ``hops``; queries every node within it.
+
+        Every node at distance ``≤ hops`` is queried — including the
+        frontier layer itself, whose degrees the DP needs even though its
+        rows are never expanded.
+        """
         distances: Dict[Node, int] = {self.start: 0}
-        queue = deque([self.start])
-        while queue:
-            current = queue.popleft()
-            depth = distances[current]
-            if depth >= self.hops:
-                # Must still query the frontier node itself so its degree is
-                # known to the DP; api.neighbors on it happens below only if
-                # depth < hops, so do it here for frontier nodes.
-                self.api.neighbors(current)
-                continue
-            for neighbor in self.api.neighbors(current):
-                if neighbor not in distances:
-                    distances[neighbor] = depth + 1
-                    queue.append(neighbor)
+        layer: List[Node] = [self.start]
+        for depth in range(self.hops + 1):
+            rows = self._fetch_layer(layer)
+            if depth == self.hops:
+                break
+            next_layer: List[Node] = []
+            for row in rows:
+                for neighbor in row:
+                    if neighbor not in distances:
+                        distances[neighbor] = depth + 1
+                        next_layer.append(neighbor)
+            if not next_layer:
+                break
+            layer = next_layer
         return distances
 
     def _exact_probability_tables(self) -> list[Dict[Node, float]]:
@@ -84,7 +110,9 @@ class InitialCrawl:
             for node, mass in previous.items():
                 row = self.design.transition_row(self.api, node)
                 for candidate, probability in row.items():
-                    current[candidate] = current.get(candidate, 0.0) + mass * probability
+                    current[candidate] = (
+                        current.get(candidate, 0.0) + mass * probability
+                    )
             tables.append(current)
         return tables
 
@@ -110,6 +138,41 @@ class InitialCrawl:
                 f"step {s} not covered by an h={self.hops} crawl"
             )
         return self._tables[s].get(node, 0.0)
+
+    def _table_arrays(self, s: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted (node ids, probabilities) arrays for step *s* (cached)."""
+        cached = self._array_tables[s]
+        if cached is None:
+            table = self._tables[s]
+            ids = np.fromiter(table, dtype=np.int64, count=len(table))
+            values = np.fromiter(table.values(), dtype=np.float64, count=ids.size)
+            order = np.argsort(ids)
+            cached = (ids[order], values[order])
+            self._array_tables[s] = cached
+        return cached
+
+    def probabilities_batch(self, nodes, s: int) -> np.ndarray:
+        """Exact ``p_s`` for an array of nodes — one search, K lookups.
+
+        The array form of :meth:`probability`: one crawl (paid once per
+        start) serves every backward walk of a K-wide batch in a single
+        sorted-array lookup.  Nodes outside the step-``s`` support get 0.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``s`` is not covered by the crawl.
+        """
+        if not self.covers_step(s):
+            raise ConfigurationError(
+                f"step {s} not covered by an h={self.hops} crawl"
+            )
+        ids, values = self._table_arrays(s)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        out = np.zeros(nodes.size, dtype=np.float64)
+        pos, hit = sorted_lookup(ids, nodes)
+        out[hit] = values[pos[hit]]
+        return out
 
     @property
     def crawled_nodes(self) -> frozenset[Node]:

@@ -16,7 +16,11 @@ import numpy as np
 
 from repro.core.config import WalkEstimateConfig
 from repro.core.crawl import InitialCrawl
-from repro.core.weighted import BackwardStats, ForwardHistory, weighted_backward_estimate
+from repro.core.weighted import (
+    BackwardStats,
+    ForwardHistory,
+    weighted_backward_estimate,
+)
 from repro.errors import EstimationError
 from repro.rng import RngLike, ensure_rng
 from repro.walks.transitions import NeighborView, Node, TransitionDesign

@@ -58,13 +58,23 @@ class SampleRecord:
 
 @dataclass
 class WalkEstimateReport:
-    """Everything a WALK-ESTIMATE run produced beyond the samples."""
+    """Everything a WALK-ESTIMATE run produced beyond the samples.
+
+    The three ``*_cost`` fields attribute unique-node query cost to the
+    run's phases — initial crawl, forward walking, backward estimation —
+    via counter snapshots/deltas (a node charged in one phase is free in
+    every later one, so the numbers depend on phase order; anything left
+    over, e.g. target-weight lookups, shows up in the sampler's total but
+    in none of the three).
+    """
 
     records: List[SampleRecord] = field(default_factory=list)
     forward_walks: int = 0
     forward_steps: int = 0
     backward_steps: int = 0
     crawl_cost: int = 0
+    walk_cost: int = 0
+    backward_cost: int = 0
 
     @property
     def attempts(self) -> int:
@@ -132,8 +142,9 @@ class WalkEstimateSampler:
         estimator: Optional[ProbabilityEstimator] = None
 
         try:
+            before_crawl = api.snapshot()
             crawl = self._build_crawl(api, start)
-            report.crawl_cost = api.query_cost
+            report.crawl_cost = api.counter.delta(before_crawl).unique_nodes
             history = ForwardHistory(start, t)
             estimator = ProbabilityEstimator(
                 api,
@@ -154,7 +165,11 @@ class WalkEstimateSampler:
             while len(batch.nodes) < count and attempts_left > 0:
                 attempts_left -= 1
                 candidate = self._one_candidate(api, start, t, history, report, rng)
+                before_estimate = api.snapshot()
                 estimate = estimator.estimate(candidate)
+                report.backward_cost += api.counter.delta(
+                    before_estimate
+                ).unique_nodes
                 target_weight = self.design.target_weight(api, candidate)
                 beta = rejection.acceptance_probability(estimate.mean, target_weight)
                 accepted = rejection.accept(estimate.mean, target_weight)
@@ -190,7 +205,9 @@ class WalkEstimateSampler:
         return InitialCrawl(api, self.design, start, self.config.crawl_hops)
 
     def _one_candidate(self, api, start, t, history, report, rng) -> Node:
+        before = api.snapshot()
         walk = run_walk(api, self.design, start, t, seed=rng)
+        report.walk_cost += api.counter.delta(before).unique_nodes
         history.record(walk)
         report.forward_walks += 1
         report.forward_steps += t
@@ -208,9 +225,11 @@ class WalkEstimateSampler:
         light_repetitions = self.config.calibration_repetitions
         for _ in range(self.config.calibration_walks):
             candidate = self._one_candidate(api, start, t, history, report, rng)
+            before_estimate = api.snapshot()
             estimate = estimator.estimate(
                 candidate, repetitions=light_repetitions, refine=False
             )
+            report.backward_cost += api.counter.delta(before_estimate).unique_nodes
             target_weight = self.design.target_weight(api, candidate)
             if target_weight > 0 and estimate.mean > 0:
                 bootstrap.observe(estimate.mean / target_weight)

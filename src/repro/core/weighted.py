@@ -29,20 +29,42 @@ is uniform and keeps the estimator unbiased for *any* valid π (this is what
 the paper's own unbiasedness argument, Eq. 22–24, requires).  DESIGN.md
 documents both deviations; tests verify unbiasedness by exhaustive
 enumeration.
+
+**Two grains.**  :func:`weighted_backward_estimate` is the scalar
+reference: one walk, one realization.  :func:`ws_bw_batch` is its
+charged-API batch twin: K backward walks advance per depth level over one
+shared :class:`ForwardHistory`, the proposal/pick/importance arithmetic is
+vectorized, and every neighbor fetch goes through the view's batch
+interface — so a :class:`~repro.osn.api.SocialNetworkAPI` charges each
+level in one accounting operation against its discovered-graph store
+(§2.4: the first access to a node costs one query, every repeat is a free
+cache hit, so batching never changes what a campaign pays — only how fast
+it runs).  At K = 1 the batch consumes the RNG stream exactly as the
+scalar does and reproduces its realization bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.arrays import sorted_lookup
 from repro.core.crawl import InitialCrawl
 from repro.core.unbiased import backward_candidates
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.discovered import DiscoveredGraph
 from repro.rng import RngLike, ensure_rng
-from repro.walks.transitions import NeighborView, Node, TransitionDesign
+from repro.walks.transitions import (
+    LazyWalk,
+    MaxDegreeWalk,
+    MetropolisHastingsWalk,
+    NeighborView,
+    Node,
+    SimpleRandomWalk,
+    TransitionDesign,
+)
 from repro.walks.walker import WalkResult
 
 
@@ -70,6 +92,10 @@ class ForwardHistory:
         self._counts: list[Dict[Node, int]] = [
             {} for _ in range(walk_length + 1)
         ]
+        self._arrays: list[Optional[Tuple[np.ndarray, np.ndarray]]] = [
+            None
+        ] * (walk_length + 1)
+        self._dense: list[Optional[np.ndarray]] = [None] * (walk_length + 1)
         self._total_walks = 0
 
     def record(self, walk: WalkResult) -> None:
@@ -91,6 +117,8 @@ class ForwardHistory:
         for step, node in enumerate(walk.path):
             counts = self._counts[step]
             counts[node] = counts.get(node, 0) + 1
+        self._arrays = [None] * (self.walk_length + 1)
+        self._dense = [None] * (self.walk_length + 1)
         self._total_walks += 1
 
     @property
@@ -109,6 +137,53 @@ class ForwardHistory:
         if not 0 <= step <= self.walk_length:
             return {}
         return self._counts[step]
+
+    def counts_arrays(self, step: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One step's visit counts as sorted ``(node ids, counts)`` arrays.
+
+        The array form of :meth:`counts_at` — rebuilt lazily after each
+        :meth:`record`, then reused, so a K-wide batched backward walk
+        resolves every candidate's visit count with one binary search
+        instead of K dict probes.  Out-of-range steps yield empty arrays.
+        """
+        if not 0 <= step <= self.walk_length:
+            return _EMPTY_IDS, _EMPTY_COUNTS
+        cached = self._arrays[step]
+        if cached is None:
+            counts = self._counts[step]
+            ids = np.fromiter(counts, dtype=np.int64, count=len(counts))
+            values = np.fromiter(counts.values(), dtype=np.int64, count=ids.size)
+            order = np.argsort(ids)
+            cached = (ids[order], values[order])
+            self._arrays[step] = cached
+        return cached
+
+    def counts_dense(self, step: int) -> Optional[np.ndarray]:
+        """One step's visit counts as a dense id-indexed float vector.
+
+        Turns the per-candidate count lookup into a single gather — the
+        fastest path for the batched backward walk.  Returns None when the
+        step is out of range, empty, or the visited ids are too large for
+        a dense table (callers fall back to :meth:`counts_arrays`).
+        """
+        if not 0 <= step <= self.walk_length:
+            return None
+        cached = self._dense[step]
+        if cached is None:
+            ids, counts = self.counts_arrays(step)
+            if ids.size == 0 or ids[0] < 0 or ids[-1] >= _DENSE_COUNT_LIMIT:
+                return None
+            cached = np.zeros(int(ids[-1]) + 1, dtype=np.float64)
+            cached[ids] = counts
+            self._dense[step] = cached
+        return cached
+
+
+_EMPTY_IDS = np.zeros(0, dtype=np.int64)
+_EMPTY_COUNTS = np.zeros(0, dtype=np.int64)
+
+#: Ceiling for dense per-step count tables (8 MB of float64 per step).
+_DENSE_COUNT_LIMIT = 1 << 20
 
 
 def smoothing_constant(total_visits: int, k: int, epsilon: float) -> float:
@@ -218,3 +293,352 @@ def weighted_backward_estimate(
             return 0.0
         current = predecessor
         depth -= 1
+
+
+# ----------------------------------------------------------------------
+# Vectorized batch WS-BW (charged-API backend)
+# ----------------------------------------------------------------------
+def smoothing_constants(
+    total_visits: np.ndarray, k: np.ndarray, epsilon: float
+) -> np.ndarray:
+    """Vectorized :func:`smoothing_constant` for aligned total/size arrays."""
+    total_visits = np.asarray(total_visits, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    out = np.ones(total_visits.shape, dtype=np.float64)
+    positive = total_visits > 0
+    out[positive] = np.maximum(
+        1.0, epsilon * total_visits[positive] / ((1.0 - epsilon) * k[positive])
+    )
+    return out
+
+
+def _require_batchable(design: TransitionDesign) -> None:
+    """Reject unsupported designs before any query is charged.
+
+    The design is fully known at entry; discovering it mid-walk (as the
+    transition kernel otherwise would at the end of the first level)
+    would burn real budget and rate-limit tokens on an invalid argument.
+    """
+    if isinstance(design, LazyWalk):
+        _require_batchable(design.inner)
+        return
+    if not isinstance(
+        design, (SimpleRandomWalk, MetropolisHastingsWalk, MaxDegreeWalk)
+    ):
+        raise ConfigurationError(
+            f"design {design.name!r} has no batched transition probability; "
+            "use the scalar weighted_backward_estimate"
+        )
+
+
+class _CachingView:
+    """Adapter giving a free :class:`NeighborView` the charged batch surface.
+
+    The batched walk is written once, against ``degrees_batch`` plus a
+    :class:`~repro.graphs.discovered.DiscoveredGraph` row store — exactly
+    what :class:`~repro.osn.api.SocialNetworkAPI` exposes.  Wrapping a
+    plain graph in this adapter (fetch rows on first miss, memoize them
+    in a private store) lets free in-memory views run the same code path
+    with no accounting and no second implementation to keep in sync.
+    """
+
+    cacheable = True
+    restriction = None
+
+    def __init__(self, view: NeighborView) -> None:
+        self._view = view
+        self.discovered = DiscoveredGraph(name="ws-bw-view")
+
+    def degrees_batch(self, nodes) -> np.ndarray:
+        degrees, known = self.discovered.try_degrees(nodes)
+        if not np.all(known):
+            for node in np.unique(nodes[~known]).tolist():
+                self.discovered.record(node, self._view.neighbors(node))
+            degrees, _ = self.discovered.try_degrees(nodes)
+        return degrees
+
+
+def _require_rows_alive(nodes: np.ndarray, degrees: np.ndarray) -> None:
+    if np.any(degrees == 0):
+        stuck = int(nodes[degrees == 0][0])
+        raise GraphError(f"random walk stuck: node {stuck} has no neighbors")
+
+
+def _segment_sums(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Left-to-right per-segment sums (np.cumsum adds sequentially, so the
+    first segment — the only one at K = 1 — is bit-identical to a scalar
+    accumulator; reduceat's pairwise order would not be)."""
+    bounds = np.cumsum(lengths)
+    cumulative = np.cumsum(values)
+    return cumulative[bounds - 1] - np.concatenate(
+        ([0.0], cumulative[bounds[:-1] - 1])
+    )
+
+
+def _transition_batch(
+    view,
+    design: TransitionDesign,
+    predecessors: np.ndarray,
+    currents: np.ndarray,
+    pred_degrees: np.ndarray,
+    current_degrees: np.ndarray,
+    symmetric: bool,
+) -> np.ndarray:
+    """``T(predecessor, current)`` per walk, scalar-identical in value and
+    query footprint.
+
+    Membership and rows come straight from the view's
+    :class:`~repro.graphs.discovered.DiscoveredGraph` store (all
+    predecessors/currents are fetched by the time this runs), and the MHRW
+    self-loop's neighbor degrees go through ``degrees_batch`` — charging
+    exactly the nodes the scalar full-row computation charges.
+
+    *symmetric* asserts the view's visible edge relation is symmetric
+    (unrestricted API): every non-self predecessor was drawn from the
+    current node's row, so the reverse membership check — what the scalar
+    ``destination not in neighbors`` scan establishes — is a tautology
+    and skipped.  Restricted views must pass False: types 2/3 make
+    visibility asymmetric, and a failed reverse check is exactly what
+    zeroes the realization there.
+    """
+    discovered = view.discovered
+    _require_rows_alive(predecessors, pred_degrees)
+    if isinstance(design, SimpleRandomWalk):
+        if symmetric:
+            member = predecessors != currents
+        else:
+            member = discovered.rows_contain(predecessors, currents)
+        out = np.zeros(predecessors.size, dtype=np.float64)
+        out[member] = 1.0 / pred_degrees[member]
+        return out
+    if isinstance(design, MetropolisHastingsWalk):
+        out = np.zeros(predecessors.size, dtype=np.float64)
+        loops = predecessors == currents
+        edges = np.flatnonzero(~loops)
+        if edges.size:
+            if symmetric:
+                hit = edges
+            else:
+                member = discovered.rows_contain(
+                    predecessors[edges], currents[edges]
+                )
+                hit = edges[member]
+            dp = pred_degrees[hit].astype(np.float64)
+            dc = current_degrees[hit].astype(np.float64)
+            out[hit] = (1.0 / dp) * np.minimum(1.0, dp / dc)
+        loop_idx = np.flatnonzero(loops)
+        if loop_idx.size:
+            flat, lengths = discovered.rows_flat(currents[loop_idx])
+            neighbor_degrees = view.degrees_batch(flat).astype(np.float64)
+            du = np.repeat(lengths, lengths).astype(np.float64)
+            per_edge = (1.0 / du) * np.minimum(1.0, du / neighbor_degrees)
+            self_mass = 1.0 - _segment_sums(per_edge, lengths)
+            out[loop_idx] = np.where(self_mass > 1e-15, self_mass, 0.0)
+        return out
+    if isinstance(design, MaxDegreeWalk):
+        over = pred_degrees > design.max_degree
+        if np.any(over):
+            bad = int(np.flatnonzero(over)[0])
+            raise ConfigurationError(
+                f"node {int(predecessors[bad])} has degree "
+                f"{int(pred_degrees[bad])} > declared "
+                f"max_degree {design.max_degree}"
+            )
+        out = np.zeros(predecessors.size, dtype=np.float64)
+        loops = predecessors == currents
+        out[loops] = 1.0 - pred_degrees[loops] / design.max_degree
+        edges = np.flatnonzero(~loops)
+        if edges.size:
+            if symmetric:
+                out[edges] = 1.0 / design.max_degree
+            else:
+                member = discovered.rows_contain(
+                    predecessors[edges], currents[edges]
+                )
+                out[edges[member]] = 1.0 / design.max_degree
+        return out
+    if isinstance(design, LazyWalk):
+        inner = _transition_batch(
+            view,
+            design.inner,
+            predecessors,
+            currents,
+            pred_degrees,
+            current_degrees,
+            symmetric,
+        )
+        out = (1.0 - design.laziness) * inner
+        loops = predecessors == currents
+        out[loops] = design.laziness + out[loops]
+        return out
+    raise ConfigurationError(
+        f"design {design.name!r} has no batched transition probability; "
+        "use the scalar weighted_backward_estimate"
+    )
+
+
+def ws_bw_batch(
+    view: NeighborView,
+    design: TransitionDesign,
+    nodes,
+    start: Node,
+    t: int,
+    history: Optional[ForwardHistory] = None,
+    epsilon: float = 0.1,
+    seed: RngLike = None,
+    crawl: Optional[InitialCrawl] = None,
+    stats: Optional[BackwardStats] = None,
+) -> np.ndarray:
+    """K simultaneous WS-BW realizations — one per entry of *nodes*.
+
+    The batched twin of :func:`weighted_backward_estimate` for the
+    *charged* regime: all K backward walks advance together, drawing from
+    one shared :class:`ForwardHistory` through its sorted count arrays,
+    with the ε-smoothed proposal, the inverse-CDF pick, and the importance
+    weights computed for the whole batch per depth level.  Neighbor rows
+    come through the view's batch interface, so a
+    :class:`~repro.osn.api.SocialNetworkAPI` settles each level's charges
+    in one accounting operation — and because every lookup lands in the
+    API's discovered graph, the batch charges exactly the unique nodes the
+    equivalent scalar walks would (§2.4: repeat lookups are free).
+
+    **Parity.**  At ``K = 1`` this consumes the :mod:`repro.rng` stream
+    *exactly* as the scalar estimator does — the same conditional draws
+    (one bounded integer when the candidate history is empty, one uniform
+    otherwise), the same arithmetic in the same order — so with the same
+    seed it reproduces the scalar realization bit for bit, at identical
+    query cost.  For ``K > 1`` the walks interleave their draws level by
+    level (each walk's law is unchanged; the joint stream differs from K
+    sequential scalar calls, exactly as in the forward batch engine).
+
+    With ``history=None`` this degrades to the uniform backward walk;
+    *crawl*, when given, terminates every walk the moment its remaining
+    depth is covered by the exact ``p_s`` tables, via one array lookup.
+    Free in-memory views (a plain :class:`~repro.graphs.Graph` or
+    :class:`~repro.graphs.csr.CSRGraph`) run the same code path through a
+    private row-memoizing adapter.  Type-1 (fresh-subset) restricted APIs
+    are rejected: their responses change per invocation, so no cached
+    batch walk can reproduce the scalar estimator's query pattern — use
+    :func:`weighted_backward_estimate` there.
+
+    Returns an array of shape ``(len(nodes),)`` of non-negative
+    realizations, each with expectation ``p_t(node)``.
+    """
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    if not 0.0 < epsilon <= 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1], got {epsilon}")
+    current = np.array(nodes, dtype=np.int64)
+    if current.ndim != 1:
+        raise ConfigurationError(
+            f"nodes must be 1-d, got shape {tuple(current.shape)}"
+        )
+    _require_batchable(design)
+    rng = ensure_rng(seed)
+    if stats is not None:
+        stats.walks += int(current.size)
+    if getattr(view, "discovered", None) is None:
+        # Free in-memory view: memoize rows locally so the one batched
+        # code path below serves graphs and charged APIs alike.
+        view = _CachingView(view)
+    elif not view.cacheable:
+        raise ConfigurationError(
+            "type-1 (fresh-subset) restrictions have no batched WS-BW — "
+            "each call must re-invoke the API; use the scalar "
+            "weighted_backward_estimate"
+        )
+    discovered = view.discovered
+    symmetric = view.restriction is None
+    weights = np.ones(current.size, dtype=np.float64)
+    results = np.zeros(current.size, dtype=np.float64)
+    active = np.ones(current.size, dtype=bool)
+    self_loop = 1 if design.may_self_loop else 0
+    for depth in range(t, -1, -1):
+        alive = np.flatnonzero(active)
+        if alive.size == 0:
+            break
+        if crawl is not None and crawl.covers_step(depth):
+            results[alive] = weights[alive] * crawl.probabilities_batch(
+                current[alive], depth
+            )
+            break
+        if depth == 0:
+            home = alive[current[alive] == start]
+            results[home] = weights[home]
+            break
+        cur = current[alive]
+        # Fetching charges the whole level in one accounting operation;
+        # the rows come back as one flat gather from the row pool.
+        lengths = view.degrees_batch(cur)
+        sizes = lengths + self_loop
+        if np.any(sizes == 0):
+            stuck = int(cur[sizes == 0][0])
+            raise GraphError(f"backward walk stuck: node {stuck} has no neighbors")
+        offsets = np.zeros(alive.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        flat_rows, _ = discovered.rows_flat(cur)
+        if self_loop:
+            flat = np.empty(int(offsets[-1]), dtype=np.int64)
+            destination = np.arange(flat_rows.size) + np.repeat(
+                np.arange(alive.size), lengths
+            )
+            flat[destination] = flat_rows
+            flat[offsets[1:] - 1] = cur
+        else:
+            flat = flat_rows
+        # Candidate visit counts from the shared history (one gather).
+        visits = np.zeros(flat.size, dtype=np.float64)
+        if history is not None and history.total_walks > 0:
+            dense = history.counts_dense(depth - 1)
+            if dense is not None:
+                inside = (flat >= 0) & (flat < dense.size)
+                visits[inside] = dense[flat[inside]]
+            else:
+                ids, counts = history.counts_arrays(depth - 1)
+                pos, hit = sorted_lookup(ids, flat)
+                visits[hit] = counts[pos[hit]]
+        totals = np.add.reduceat(visits, offsets[:-1])
+        uniform = totals == 0.0
+        picks = np.empty(alive.size, dtype=np.int64)
+        proposal = np.empty(alive.size, dtype=np.float64)
+        if np.any(uniform):
+            picks[uniform] = rng.integers(0, sizes[uniform])
+            proposal[uniform] = 1.0 / sizes[uniform]
+        weighted = np.flatnonzero(~uniform)
+        if weighted.size:
+            k = sizes[weighted].astype(np.float64)
+            total = totals[weighted]
+            c = smoothing_constants(total, k, epsilon)
+            normalizer = total + c * k
+            draws = rng.random(weighted.size) * normalizer
+            # Per-segment inverse-CDF over visits + c.  The cumulative sums
+            # run over the weighted walks' candidates only, so at K = 1 the
+            # running sum is bit-identical to the scalar accumulator.
+            if weighted.size == alive.size:
+                sub_vpc = visits + np.repeat(c, sizes)
+            else:
+                sub_mask = np.repeat(~uniform, sizes)
+                sub_vpc = visits[sub_mask] + np.repeat(c, sizes[weighted])
+            cumulative = np.cumsum(sub_vpc)
+            ends = np.cumsum(sizes[weighted])
+            starts = ends - sizes[weighted]
+            base = np.where(starts > 0, cumulative[starts - 1], 0.0)
+            found = np.searchsorted(cumulative, base + draws, side="right")
+            found = np.minimum(found, ends - 1)
+            picks[weighted] = found - starts
+            proposal[weighted] = sub_vpc[found] / normalizer
+        predecessors = flat[offsets[:-1] + picks]
+        if stats is not None:
+            stats.steps += int(alive.size)
+        # Fetching the predecessors charges exactly the new unique nodes
+        # a scalar walk would; self entries are cache hits.
+        pred_degrees = view.degrees_batch(predecessors)
+        transitions = _transition_batch(
+            view, design, predecessors, cur, pred_degrees, lengths, symmetric
+        )
+        weights[alive] *= transitions / proposal
+        died = alive[weights[alive] == 0.0]
+        active[died] = False
+        current[alive] = predecessors
+    return results
+

@@ -432,8 +432,10 @@ def scale_factor(scale: str = "quick", seed: RngLike = 54) -> ExperimentResult:
         )
         api_probe = SocialNetworkAPI(graph)
         sampler = we_full_sampler(design, config)
+        probe_start = api_probe.snapshot()
         probe = sampler.sample(api_probe, start, count=30, seed=run_rng)
-        cost_per_sample = api_probe.query_cost / max(1, len(probe))
+        probe_cost = api_probe.counter.delta(probe_start).unique_nodes
+        cost_per_sample = probe_cost / max(1, len(probe))
         nodes = collect_samples(
             dataset, spec, total, per_run=60, seed=run_rng, start=start
         )

@@ -52,7 +52,9 @@ def _check_scale(scale: str) -> None:
         raise ExperimentError(f"scale must be one of {_SCALES}, got {scale!r}")
 
 
-def _we_config_for(dataset: SocialDataset, crawl_hops: int, seed: RngLike) -> WalkEstimateConfig:
+def _we_config_for(
+    dataset: SocialDataset, crawl_hops: int, seed: RngLike
+) -> WalkEstimateConfig:
     """Dataset-tuned WE config: walk length 2d+1 from a measured diameter.
 
     Backward repetitions are kept modest (5 base + 3 refinement): the

@@ -9,6 +9,7 @@ reproducible from a seed alone.
 
 from repro.graphs.graph import Graph
 from repro.graphs.csr import CSRGraph
+from repro.graphs.discovered import DiscoveredGraph, DiscoveredSlab
 from repro.graphs.generators import (
     barabasi_albert_graph,
     balanced_tree_graph,
@@ -53,6 +54,8 @@ from repro.graphs.statistics import (
 __all__ = [
     "Graph",
     "CSRGraph",
+    "DiscoveredGraph",
+    "DiscoveredSlab",
     "barabasi_albert_graph",
     "balanced_tree_graph",
     "barbell_graph",

@@ -1,0 +1,388 @@
+"""The discovered graph: an incremental cache of everything a crawl paid for.
+
+Under the paper's cost model (§2.4) a sampler pays one query for the *first*
+access to a node; every repeat access is free because the response can be
+cached client-side.  :class:`DiscoveredGraph` is that client-side cache made
+explicit and shared: it accumulates every neighbor list a charged
+:class:`~repro.osn.api.SocialNetworkAPI` has returned, so
+
+* repeat lookups are served from the store without touching the API —
+  the "free" half of the cost model is an O(1) dict hit or one vectorized
+  gather, never a second charge;
+* *membership* (every node id the crawler has ever seen — fetched nodes,
+  their listed neighbors, and profile-only fetches) is available as a
+  sorted array, which is what lets the batch accounting layer decide
+  "new or already paid for?" for K nodes in one :func:`numpy.searchsorted`
+  instead of K set probes;
+* the fetched region re-compacts cheaply into a frozen
+  :class:`~repro.graphs.csr.CSRGraph` slab (:meth:`compact`), so any
+  vectorized machinery built for free in-memory graphs can run over the
+  part of the network that has already been paid for.
+
+The store is deliberately append-only (plus :meth:`clear` for new
+measurement epochs): it is the state a future asynchronous crawler feeds
+incrementally, per the ROADMAP's sharding/async-crawler items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.arrays import sorted_lookup
+from repro.errors import NodeNotFoundError
+from repro.graphs.csr import CSRGraph
+
+Node = int
+
+#: Ceiling for the dense id → slot table (ids above it switch the store to
+#: sorted-array lookups; 2^22 ids cap the table at 32 MB of int64).
+_DENSE_ID_LIMIT = 1 << 22
+
+
+@dataclass(frozen=True)
+class DiscoveredSlab:
+    """One compaction of a :class:`DiscoveredGraph` into CSR form.
+
+    Attributes
+    ----------
+    csr:
+        Frozen CSR adjacency over *all* member nodes (sorted id order).
+        Unfetched members — nodes seen only as someone's neighbor — get an
+        empty row, so ``csr.degrees`` is only meaningful where
+        :attr:`fetched` is True.
+    fetched:
+        Boolean mask aligned to CSR positions: True where the row is a
+        genuinely fetched neighbor list rather than a placeholder.
+    """
+
+    csr: CSRGraph
+    fetched: np.ndarray
+
+    @property
+    def fetched_ids(self) -> np.ndarray:
+        """Original ids of the nodes whose rows are real, sorted."""
+        return self.csr.node_ids[self.fetched]
+
+
+class DiscoveredGraph:
+    """Grow-only store of fetched neighbor rows with array-backed lookups.
+
+    The scalar interface (:meth:`record` / :meth:`row` / :meth:`neighbors`)
+    is plain dict work; the array interface (:meth:`fetched_mask` /
+    :meth:`degrees_of` / :meth:`member_ids`) maintains sorted id arrays
+    lazily — rebuilt at most once per growth generation — so batch callers
+    pay O(log n) per lookup with no per-node Python.
+    """
+
+    def __init__(self, name: str = "discovered") -> None:
+        self.name = name
+        self._rows: Dict[Node, Tuple[Node, ...]] = {}
+        self._members: set[Node] = set()
+        self._generation = 0
+        self._fetched_ids: Optional[np.ndarray] = None
+        self._fetched_slots: Optional[np.ndarray] = None
+        self._member_ids: Optional[np.ndarray] = None
+        self._arrays_generation = -1
+        self._slab: Optional[DiscoveredSlab] = None
+        self._slab_generation = -1
+        # Incremental row pool: every fetched row is appended once as a
+        # flat int64 segment, so batch callers gather K ragged rows with
+        # pure array arithmetic instead of K tuple conversions per level.
+        self._pool = np.empty(1024, dtype=np.int64)
+        self._pool_used = 0
+        self._slot_starts = np.empty(256, dtype=np.int64)
+        self._slot_lengths = np.empty(256, dtype=np.int64)
+        self._slot_by_id: Dict[Node, int] = {}
+        # Dense id → slot table: one gather instead of a binary search per
+        # lookup (~10x on the hot path) whenever node ids are small
+        # non-negative ints — true for every surrogate dataset.  Falls
+        # back to sorted-array search the moment an id outside the dense
+        # range shows up.
+        self._dense = True
+        self._slot_table = np.full(1024, -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Recording (the charged API writes here)
+    # ------------------------------------------------------------------
+    def record(self, node: Node, neighbors: Tuple[Node, ...]) -> None:
+        """Store the fetched neighbor row of *node* (idempotent)."""
+        if self._rows.get(node) == neighbors:
+            return
+        self._rows[node] = neighbors
+        self._append_pool_row(node, neighbors)
+        self._members.add(node)
+        self._members.update(neighbors)
+        self._generation += 1
+
+    def _append_pool_row(self, node: Node, neighbors: Tuple[Node, ...]) -> None:
+        length = len(neighbors)
+        needed = self._pool_used + length
+        if needed > self._pool.size:
+            grown = np.empty(max(2 * self._pool.size, needed), dtype=np.int64)
+            grown[: self._pool_used] = self._pool[: self._pool_used]
+            self._pool = grown
+        self._pool[self._pool_used : needed] = neighbors
+        slot = self._slot_by_id.get(node)
+        if slot is None:
+            slot = len(self._slot_by_id)
+            if slot == self._slot_starts.size:
+                self._slot_starts = np.concatenate(
+                    (self._slot_starts, np.empty(self._slot_starts.size, np.int64))
+                )
+                self._slot_lengths = np.concatenate(
+                    (self._slot_lengths, np.empty(self._slot_lengths.size, np.int64))
+                )
+            self._slot_by_id[node] = slot
+            if self._dense:
+                if 0 <= node < _DENSE_ID_LIMIT:
+                    if node >= self._slot_table.size:
+                        grown = np.full(
+                            max(2 * self._slot_table.size, node + 1), -1, np.int64
+                        )
+                        grown[: self._slot_table.size] = self._slot_table
+                        self._slot_table = grown
+                    self._slot_table[node] = slot
+                else:
+                    self._dense = False
+        self._slot_starts[slot] = self._pool_used
+        self._slot_lengths[slot] = length
+        self._pool_used = needed
+
+    def mark(self, node: Node, neighbors: Iterable[Node] = ()) -> None:
+        """Add *node* (and optionally ids it exposed) to membership only.
+
+        Used for accesses that pay for a node without yielding a cacheable
+        row: profile/attribute fetches, and type-1-restricted neighbor
+        calls whose response changes per invocation.
+        """
+        before = len(self._members)
+        self._members.add(node)
+        self._members.update(neighbors)
+        if len(self._members) != before:
+            self._generation += 1
+
+    def clear(self) -> None:
+        """Forget everything (new measurement epoch)."""
+        self._rows.clear()
+        self._members.clear()
+        self._pool_used = 0
+        self._slot_by_id.clear()
+        self._dense = True
+        self._slot_table = np.full(1024, -1, dtype=np.int64)
+        self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Scalar lookups (NeighborView over the paid-for region)
+    # ------------------------------------------------------------------
+    def has_row(self, node: Node) -> bool:
+        """True if *node*'s neighbor list is cached."""
+        return node in self._rows
+
+    def row(self, node: Node) -> Optional[Tuple[Node, ...]]:
+        """The cached neighbor row of *node*, or None if never fetched."""
+        return self._rows.get(node)
+
+    def neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """Cached neighbors of *node*; raises if the row was never paid for."""
+        row = self._rows.get(node)
+        if row is None:
+            raise NodeNotFoundError(node)
+        return row
+
+    def degree(self, node: Node) -> int:
+        """Cached visible degree of *node*."""
+        return len(self.neighbors(node))
+
+    def member(self, node: Node) -> bool:
+        """True if the crawler has ever seen this node id."""
+        return node in self._members
+
+    def __contains__(self, node: Node) -> bool:
+        return self.member(node)
+
+    @property
+    def fetched_count(self) -> int:
+        """Number of nodes with a cached neighbor row."""
+        return len(self._rows)
+
+    @property
+    def membership_size(self) -> int:
+        """Number of distinct node ids ever seen (fetched ∪ listed ∪ marked)."""
+        return len(self._members)
+
+    # ------------------------------------------------------------------
+    # Array lookups (the batch accounting layer reads here)
+    # ------------------------------------------------------------------
+    def _refresh_arrays(self) -> None:
+        if self._arrays_generation == self._generation:
+            return
+        ids = np.fromiter(self._slot_by_id, dtype=np.int64, count=len(self._slot_by_id))
+        slots = np.fromiter(
+            self._slot_by_id.values(), dtype=np.int64, count=ids.size
+        )
+        order = np.argsort(ids)
+        self._fetched_ids = ids[order]
+        self._fetched_slots = slots[order]
+        self._member_ids = np.fromiter(
+            self._members, dtype=np.int64, count=len(self._members)
+        )
+        self._member_ids.sort()
+        self._arrays_generation = self._generation
+
+    def _slots_lookup(self, nodes: np.ndarray) -> np.ndarray:
+        """Pool slots for an array of node ids; -1 where no row is cached."""
+        if self._dense:
+            table = self._slot_table
+            inside = (nodes >= 0) & (nodes < table.size)
+            slots = np.full(nodes.shape, -1, dtype=np.int64)
+            slots[inside] = table[nodes[inside]]
+            return slots
+        self._refresh_arrays()
+        pos, ok = sorted_lookup(self._fetched_ids, nodes)
+        slots = np.full(nodes.shape, -1, dtype=np.int64)
+        slots[ok] = self._fetched_slots[pos[ok]]
+        return slots
+
+    def _slots_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Pool slots for an array of fetched node ids (raises on misses)."""
+        slots = self._slots_lookup(nodes)
+        if slots.size == 0 or np.all(slots >= 0):
+            return slots
+        raise NodeNotFoundError(int(nodes[slots < 0][0]))
+
+    def fetched_ids(self) -> np.ndarray:
+        """Sorted ids of all nodes with cached rows (do not mutate)."""
+        self._refresh_arrays()
+        return self._fetched_ids
+
+    def member_ids(self) -> np.ndarray:
+        """Sorted ids of all members (do not mutate)."""
+        self._refresh_arrays()
+        return self._member_ids
+
+    def fetched_mask(self, nodes) -> np.ndarray:
+        """Boolean mask: which of *nodes* have a cached neighbor row.
+
+        One table gather (or sorted-array search) for the whole batch —
+        the set-free membership test the vectorized accounting layer
+        charges by.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self._slots_lookup(nodes) >= 0
+
+    def try_degrees(self, nodes) -> Tuple[np.ndarray, np.ndarray]:
+        """``(degrees, known)`` in one lookup: degrees valid where known.
+
+        The fused form of :meth:`fetched_mask` + :meth:`degrees_of` the
+        batch accounting layer uses — one table gather decides both what
+        is already paid for and what it answers.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        slots = self._slots_lookup(nodes)
+        known = slots >= 0
+        degrees = np.zeros(nodes.shape, dtype=np.int64)
+        degrees[known] = self._slot_lengths[slots[known]]
+        return degrees, known
+
+    def degrees_of(self, nodes) -> np.ndarray:
+        """Cached degrees for an array of fetched nodes (one gather).
+
+        Raises
+        ------
+        NodeNotFoundError
+            If any node's row was never fetched (its degree is unknown —
+            serving a guess would corrupt transition probabilities).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return self._slot_lengths[self._slots_of(nodes)]
+
+    def rows_flat(self, nodes) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached rows of *nodes* as ``(concatenated ids, lengths)`` arrays.
+
+        The ragged-batch form of :meth:`rows_of`: one gather over the
+        incremental row pool, no per-node Python.  All nodes must have
+        fetched rows.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        slots = self._slots_of(nodes)
+        starts = self._slot_starts[slots]
+        lengths = self._slot_lengths[slots]
+        total = int(lengths.sum())
+        offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+        flat = self._pool[np.repeat(starts, lengths) + np.arange(total) - offsets]
+        return flat, lengths
+
+    def rows_contain(self, nodes, values) -> np.ndarray:
+        """Per-row membership: is ``values[i]`` in *nodes[i]*'s cached row.
+
+        A vectorized binary search inside each (sorted) cached row —
+        O(log d_max) array passes for the whole batch.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if nodes.size == 0:
+            return np.zeros(0, dtype=bool)
+        slots = self._slots_of(nodes)
+        starts = self._slot_starts[slots]
+        lengths = self._slot_lengths[slots]
+        lo = np.zeros(nodes.size, dtype=np.int64)
+        hi = lengths.copy()
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo + hi) >> 1
+            less = np.zeros(nodes.size, dtype=bool)
+            less[active] = self._pool[starts[active] + mid[active]] < values[active]
+            lo = np.where(active & less, mid + 1, lo)
+            hi = np.where(active & ~less, mid, hi)
+        found = lo < lengths
+        found[found] = (
+            self._pool[starts[found] + lo[found]] == values[found]
+        )
+        return found
+
+    # ------------------------------------------------------------------
+    # Re-compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> DiscoveredSlab:
+        """Freeze the discovered region into a CSR slab (cached per growth).
+
+        Every member becomes a CSR row — fetched nodes carry their cached
+        neighbor list, frontier nodes (seen but never fetched) an empty
+        row, with :attr:`DiscoveredSlab.fetched` telling them apart.  All
+        listed neighbors are members by construction, so every index
+        resolves.  Compaction cost is O(members + cached edges); the slab
+        is reused until the store grows.
+        """
+        if self._slab is not None and self._slab_generation == self._generation:
+            return self._slab
+        self._refresh_arrays()
+        members = self._member_ids
+        n = members.size
+        degrees = np.zeros(n, dtype=np.int64)
+        fetched = self.fetched_mask(members)
+        degrees[fetched] = self.degrees_of(members[fetched])
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        flat = np.empty(int(indptr[-1]), dtype=np.int64)
+        for p in np.flatnonzero(fetched):
+            flat[indptr[p] : indptr[p + 1]] = self._rows[int(members[p])]
+        indices = np.searchsorted(members, flat)
+        csr = CSRGraph(indptr, indices, node_ids=members.copy(), name=self.name)
+        self._slab = DiscoveredSlab(csr=csr, fetched=fetched)
+        self._slab_generation = self._generation
+        return self._slab
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscoveredGraph(name={self.name!r}, fetched={self.fetched_count}, "
+            f"members={self.membership_size})"
+        )

@@ -30,7 +30,10 @@ def save_edge_list(graph: Graph, path: PathLike, with_attributes: bool = True) -
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")
     if with_attributes and graph.attribute_names():
         payload = {
-            attr: {str(node): value for node, value in graph.attribute_values(attr).items()}
+            attr: {
+                str(node): value
+                for node, value in graph.attribute_values(attr).items()
+            }
             for attr in graph.attribute_names()
         }
         attrs_path = path.with_suffix(path.suffix + ".attrs.json")

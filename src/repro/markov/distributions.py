@@ -81,5 +81,8 @@ def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
         raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
     support = p > 0
     return float(
-        np.sum(p[support] * (np.log(p[support]) - np.log(np.maximum(q[support], _EPSILON))))
+        np.sum(
+            p[support]
+            * (np.log(p[support]) - np.log(np.maximum(q[support], _EPSILON)))
+        )
     )

@@ -13,7 +13,13 @@ that interface over a hidden :class:`~repro.graphs.Graph`:
   15-requests-per-15-minutes example from §1.1).
 """
 
-from repro.osn.accounting import QueryBudget, QueryCounter, QueryLog
+from repro.osn.accounting import (
+    QueryBudget,
+    QueryCostDelta,
+    QueryCounter,
+    QueryCounterSnapshot,
+    QueryLog,
+)
 from repro.osn.api import SocialNetworkAPI
 from repro.osn.ratelimit import TokenBucketRateLimiter, VirtualClock
 from repro.osn.restrictions import (
@@ -29,6 +35,8 @@ __all__ = [
     "SocialNetworkAPI",
     "QueryBudget",
     "QueryCounter",
+    "QueryCounterSnapshot",
+    "QueryCostDelta",
     "QueryLog",
     "NeighborRestriction",
     "RandomKRestriction",

@@ -5,6 +5,14 @@ to access in order to obtain a predetermined number of samples" (§2.4).
 Re-querying a node a crawler has already seen is free in this model (the
 response can be cached locally), so :class:`QueryCounter` counts **unique**
 nodes by default while still tracking raw calls for diagnostics.
+
+Two access grains coexist.  The scalar grain (:meth:`QueryCounter.seen` /
+:meth:`QueryCounter.charge`) serves the per-step walkers; the batch grain
+(:meth:`QueryCounter.seen_many` / :meth:`QueryCounter.charge_batch`) lets K
+simultaneous walks settle their whole step in one operation — membership is
+decided by one binary search over a lazily maintained sorted id array
+rather than K Python set probes, which is what keeps accounting off the
+critical path of the batched charged-API engine.
 """
 
 from __future__ import annotations
@@ -12,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
+from repro.arrays import sorted_lookup
 from repro.errors import QueryBudgetExceededError
 
 
@@ -27,6 +38,11 @@ class QueryLog:
         if self.enabled:
             self.entries.append(node)
 
+    def record_many(self, nodes) -> None:
+        """Append every id in *nodes* if logging is enabled."""
+        if self.enabled:
+            self.entries.extend(int(n) for n in nodes)
+
     def clear(self) -> None:
         """Drop all recorded entries."""
         self.entries.clear()
@@ -38,6 +54,7 @@ class QueryCounter:
     def __init__(self) -> None:
         self._seen: set[int] = set()
         self._raw_calls = 0
+        self._seen_ids: Optional[np.ndarray] = None
 
     @property
     def unique_nodes(self) -> int:
@@ -53,22 +70,85 @@ class QueryCounter:
         """True if *node* was already accessed (its result is cached)."""
         return node in self._seen
 
+    def seen_ids(self) -> np.ndarray:
+        """Sorted array of every charged node id (rebuilt lazily on growth)."""
+        if self._seen_ids is None:
+            self._seen_ids = np.fromiter(
+                self._seen, dtype=np.int64, count=len(self._seen)
+            )
+            self._seen_ids.sort()
+        return self._seen_ids
+
+    def seen_many(self, nodes) -> np.ndarray:
+        """Vectorized :meth:`seen`: boolean mask for an array of node ids."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return sorted_lookup(self.seen_ids(), nodes)[1]
+
     def charge(self, node: int) -> bool:
         """Record an access to *node*; returns True if it was a new node."""
         self._raw_calls += 1
         if node in self._seen:
             return False
         self._seen.add(node)
+        self._seen_ids = None
         return True
+
+    def charge_batch(self, nodes) -> np.ndarray:
+        """Record one access per entry of *nodes* in a single operation.
+
+        Returns the mask of entries that charged a *new* unique node
+        (duplicates within the batch charge on their first occurrence
+        only, exactly as the equivalent sequence of :meth:`charge` calls
+        would).  Raw calls grow by ``len(nodes)``.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        self._raw_calls += int(nodes.size)
+        if nodes.size == 0:
+            return np.zeros(0, dtype=bool)
+        new = ~self.seen_many(nodes)
+        if np.any(new):
+            first = np.zeros(nodes.size, dtype=bool)
+            first[np.unique(nodes, return_index=True)[1]] = True
+            new &= first
+            fresh = nodes[new]
+            self._seen.update(fresh.tolist())
+            if self._seen_ids is not None:
+                # Linear merge instead of invalidate-and-resort: keeps a
+                # long campaign's per-batch accounting at O(S + k log S)
+                # rather than O(S log S) per level.
+                fresh = np.sort(fresh)
+                self._seen_ids = np.insert(
+                    self._seen_ids, np.searchsorted(self._seen_ids, fresh), fresh
+                )
+        return new
+
+    def record_raw(self, count: int) -> None:
+        """Count *count* extra raw invocations that charged nothing new."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._raw_calls += count
 
     def snapshot(self) -> "QueryCounterSnapshot":
         """Immutable view of the current counts (cheap, for deltas)."""
         return QueryCounterSnapshot(self.unique_nodes, self._raw_calls)
 
+    def delta(self, since: "QueryCounterSnapshot") -> "QueryCostDelta":
+        """Cost accrued since an earlier :meth:`snapshot` (phase attribution).
+
+        The standard way to price one phase of a campaign (crawl vs walk
+        vs backward estimation): snapshot before, ``delta`` after — no
+        ad-hoc arithmetic at call sites.
+        """
+        return QueryCostDelta(
+            unique_nodes=self.unique_nodes - since.unique_nodes,
+            raw_calls=self._raw_calls - since.raw_calls,
+        )
+
     def reset(self) -> None:
         """Forget everything (new measurement epoch)."""
         self._seen.clear()
         self._raw_calls = 0
+        self._seen_ids = None
 
 
 @dataclass(frozen=True)
@@ -81,6 +161,14 @@ class QueryCounterSnapshot:
     def cost_since(self, later: "QueryCounterSnapshot") -> int:
         """Unique-node cost accrued between this snapshot and *later*."""
         return later.unique_nodes - self.unique_nodes
+
+
+@dataclass(frozen=True)
+class QueryCostDelta:
+    """Cost attributed to one phase: unique-node and raw-call increments."""
+
+    unique_nodes: int
+    raw_calls: int
 
 
 class QueryBudget:
@@ -110,6 +198,18 @@ class QueryBudget:
         if self.limit is None:
             return None
         return max(0, self.limit - counter.unique_nodes)
+
+    def affordable(self, counter: QueryCounter, requested: int) -> int:
+        """How many of *requested* new unique nodes the budget still covers.
+
+        The batch API uses this to enforce the budget per batch: it
+        charges the affordable prefix, then raises — so exhaustion
+        surfaces *before* the first over-budget API call, never after.
+        """
+        left = self.remaining(counter)
+        if left is None:
+            return requested
+        return min(requested, left)
 
     def __repr__(self) -> str:
         return f"QueryBudget(limit={self.limit})"

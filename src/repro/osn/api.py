@@ -10,9 +10,24 @@ exposes exactly what the paper's third party sees (§2.1):
   come from the same profile fetch.
 
 Every access to a *new* node costs one query against the counter/budget
-(§2.4's cost model); results are cached client-side, so repeat accesses are
-free — except under the type-1 restriction (fresh random neighbor subset
-per call, §6.3.1), where each ``neighbors`` call re-invokes the API.
+(§2.4's cost model); results accumulate in a shared
+:class:`~repro.graphs.discovered.DiscoveredGraph`, so repeat accesses are
+served from the discovered store for free — except under the type-1
+restriction (fresh random neighbor subset per call, §6.3.1), where each
+``neighbors`` call re-invokes the API (the queried node still joins the
+discovered membership: it has been paid for, even if its row cannot be
+cached).
+
+Two access grains share one accounting state.  The scalar grain
+(``neighbors``/``degree``/``attribute``) is what the per-step walkers use.
+The batch grain (:meth:`SocialNetworkAPI.neighbors_batch` /
+:meth:`SocialNetworkAPI.degrees_batch`) settles a whole array of lookups
+in one operation: cache membership is one vectorized search over the
+discovered-graph id arrays, the budget is enforced for the batch as a
+whole (the affordable prefix is charged, then exhaustion raises *before*
+the first over-budget invocation), the rate limiter is drained in one
+closed-form acquisition, and the counter is charged once — this is the
+charged-API counterpart of the free-graph batch walk engine.
 
 The API satisfies the :class:`~repro.walks.transitions.NeighborView`
 protocol, so transition designs and backward estimators run against it
@@ -21,11 +36,19 @@ unchanged.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.errors import NodeNotFoundError
+import numpy as np
+
+from repro.errors import ConfigurationError, NodeNotFoundError, QueryBudgetExceededError
+from repro.graphs.discovered import DiscoveredGraph
 from repro.graphs.graph import Graph, Node
-from repro.osn.accounting import QueryBudget, QueryCounter, QueryLog
+from repro.osn.accounting import (
+    QueryBudget,
+    QueryCounter,
+    QueryCounterSnapshot,
+    QueryLog,
+)
 from repro.osn.ratelimit import TokenBucketRateLimiter
 from repro.osn.restrictions import NeighborRestriction, RandomKRestriction
 
@@ -63,10 +86,20 @@ class SocialNetworkAPI:
         self.rate_limiter = rate_limiter
         self.counter = QueryCounter()
         self.log = QueryLog(enabled=log_queries)
-        self._neighbor_cache: dict[Node, Tuple[Node, ...]] = {}
+        #: Everything this API has returned so far — the client-side cache
+        #: of §2.4's cost model, shared with any batch machinery that wants
+        #: to walk the already-paid-for region for free.
+        self.discovered = DiscoveredGraph(name=f"discovered-{graph.name}")
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether neighbor responses are call-stable (cacheable)."""
+        # Type-1 responses change per call and must not be cached;
+        # everything else is stable and cacheable client-side.
+        return not isinstance(self.restriction, RandomKRestriction)
 
     # ------------------------------------------------------------------
-    # Charged queries
+    # Charged queries (scalar grain)
     # ------------------------------------------------------------------
     def neighbors(self, node: Node) -> Tuple[Node, ...]:
         """Visible neighbors of *node* (charged on first access).
@@ -78,14 +111,14 @@ class SocialNetworkAPI:
         QueryBudgetExceededError
             If this access would exceed the query budget.
         """
-        cached = self._neighbor_cache.get(node)
+        cached = self.discovered.row(node)
         if cached is not None:
             return cached
         visible = self._invoke(node)
-        if not isinstance(self.restriction, RandomKRestriction):
-            # Type-1 responses change per call and must not be cached;
-            # everything else is stable and cacheable client-side.
-            self._neighbor_cache[node] = visible
+        if self.cacheable:
+            self.discovered.record(node, visible)
+        else:
+            self.discovered.mark(node, visible)
         return visible
 
     def degree(self, node: Node) -> int:
@@ -106,6 +139,7 @@ class SocialNetworkAPI:
                 self.rate_limiter.acquire_or_wait()
             self.counter.charge(node)
             self.log.record(node)
+            self.discovered.mark(node)
         return self._graph.get_attribute(name, node)
 
     def _invoke(self, node: Node) -> Tuple[Node, ...]:
@@ -121,6 +155,127 @@ class SocialNetworkAPI:
         if self.restriction is not None:
             return self.restriction.apply(node, true_neighbors)
         return true_neighbors
+
+    # ------------------------------------------------------------------
+    # Charged queries (batch grain)
+    # ------------------------------------------------------------------
+    def neighbors_batch(self, nodes) -> List[Tuple[Node, ...]]:
+        """Visible neighbor rows for an array of nodes, settled as one batch.
+
+        Semantically equivalent to ``[self.neighbors(v) for v in nodes]``
+        — same unique-node charges, same raw-call count, same cache
+        contents afterwards — but the accounting happens once for the
+        whole batch: one vectorized membership test against the
+        discovered graph, one counter charge, one rate-limiter
+        acquisition, one budget decision.  Node-id validity is checked up
+        front for the entire batch (a failed lookup is free, §2.4), so an
+        unknown id raises before anything is charged.
+
+        Under the type-1 restriction each *occurrence* is its own fresh
+        invocation, exactly as in the scalar path; otherwise duplicate
+        ids in one batch share a single fetch.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If any requested node does not exist (checked before charging).
+        QueryBudgetExceededError
+            After charging the affordable prefix, if the batch needs more
+            new unique nodes than the budget allows — the over-budget
+            invocation itself never happens.
+        """
+        order = np.asarray(nodes, dtype=np.int64)
+        if order.ndim != 1:
+            raise ConfigurationError(
+                f"nodes must be 1-d, got shape {tuple(order.shape)}"
+            )
+        if order.size == 0:
+            return []
+        for node in order.tolist():
+            if not self._graph.has_node(node):
+                raise NodeNotFoundError(node)
+        unique_sorted, first_index = np.unique(order, return_index=True)
+        appearance = np.argsort(first_index, kind="stable")
+        unique = unique_sorted[appearance]
+        firsts = first_index[appearance]
+        if self.cacheable:
+            uncached = ~self.discovered.fetched_mask(unique)
+            to_invoke, firsts = unique[uncached], firsts[uncached]
+        else:
+            to_invoke = unique
+        new_mask = ~self.counter.seen_many(to_invoke)
+        requested = int(new_mask.sum())
+        affordable = self.budget.affordable(self.counter, requested)
+        exhausted = affordable < requested
+        occurrences = None if self.cacheable else order
+        if exhausted:
+            # Process exactly the invocations a scalar sequence would have
+            # completed before the first over-budget charge.
+            cutoff = int(np.flatnonzero(np.cumsum(new_mask) > affordable)[0])
+            if occurrences is not None:
+                occurrences = order[: int(firsts[cutoff])]
+            to_invoke = to_invoke[:cutoff]
+        rows = self._invoke_batch(to_invoke, occurrences)
+        if exhausted:
+            raise QueryBudgetExceededError(self.budget.limit, self.counter.unique_nodes)
+        if self.cacheable:
+            lookup = {int(n): self.discovered.neighbors(int(n)) for n in unique}
+            return [lookup[int(n)] for n in order.tolist()]
+        # Type-1: every occurrence got its own fresh subset, in input order.
+        return rows
+
+    def _invoke_batch(
+        self, to_invoke: np.ndarray, occurrences: Optional[np.ndarray]
+    ) -> List[Tuple[Node, ...]]:
+        """Rate-limit, charge, log, fetch, and cache one batch of invocations.
+
+        *occurrences* is None on the cacheable path (one invocation per
+        unique node); under type-1 it is the occurrence array and every
+        entry is invoked separately.  Returns the per-invocation rows of
+        the type-1 path (empty list otherwise — cacheable callers read
+        the discovered graph instead).
+        """
+        calls = int(to_invoke.size if occurrences is None else occurrences.size)
+        if self.rate_limiter is not None and calls:
+            self.rate_limiter.acquire_or_wait_many(calls)
+        self.counter.charge_batch(to_invoke)
+        self.counter.record_raw(calls - int(to_invoke.size))
+        rows: List[Tuple[Node, ...]] = []
+        if occurrences is None:
+            self.log.record_many(to_invoke)
+            for node in to_invoke.tolist():
+                row = self._graph.neighbors(node)
+                if self.restriction is not None:
+                    row = self.restriction.apply(node, row)
+                self.discovered.record(node, row)
+        else:
+            self.log.record_many(occurrences)
+            for node in occurrences.tolist():
+                row = self.restriction.apply(node, self._graph.neighbors(node))
+                self.discovered.mark(node, row)
+                rows.append(row)
+        return rows
+
+    def degrees_batch(self, nodes) -> np.ndarray:
+        """Visible degrees for an array of nodes, settled as one batch.
+
+        Nodes whose rows are already in the discovered graph are answered
+        by one array gather without touching the API; only genuinely new
+        nodes are fetched (and charged) via :meth:`neighbors_batch`.
+        """
+        arr = np.asarray(nodes, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ConfigurationError(f"nodes must be 1-d, got shape {tuple(arr.shape)}")
+        if not self.cacheable:
+            rows = self.neighbors_batch(arr)
+            return np.fromiter((len(r) for r in rows), dtype=np.int64, count=arr.size)
+        out, known = self.discovered.try_degrees(arr)
+        if not np.all(known):
+            rows = self.neighbors_batch(arr[~known])
+            out[~known] = np.fromiter(
+                (len(r) for r in rows), dtype=np.int64, count=int((~known).sum())
+            )
+        return out
 
     # ------------------------------------------------------------------
     # Free metadata
@@ -139,11 +294,16 @@ class SocialNetworkAPI:
         """Number of real API invocations (cache hits excluded)."""
         return self.counter.raw_calls
 
+    def snapshot(self) -> QueryCounterSnapshot:
+        """Counter snapshot for per-phase attribution (see
+        :meth:`~repro.osn.accounting.QueryCounter.delta`)."""
+        return self.counter.snapshot()
+
     def reset_accounting(self) -> None:
         """Zero the counters and cache (new measurement epoch)."""
         self.counter.reset()
         self.log.clear()
-        self._neighbor_cache.clear()
+        self.discovered.clear()
         if self.restriction is not None:
             self.restriction.reset()
 

@@ -83,7 +83,10 @@ def test_monte_carlo_agrees_with_truth(small_ba, rng):
     t, start, node = 4, 0, 12
     truth = matrix.step_distribution(start, t)[node]
     draws = np.array(
-        [unbiased_estimate(small_ba, design, node, start, t, seed=rng) for _ in range(30000)]
+        [
+            unbiased_estimate(small_ba, design, node, start, t, seed=rng)
+            for _ in range(30000)
+        ]
     )
     standard_error = draws.std() / np.sqrt(len(draws))
     assert abs(draws.mean() - truth) < 5 * standard_error + 1e-9

@@ -148,3 +148,25 @@ def test_samples_are_spread_over_the_graph(graph, config):
     sampler = we_full_sampler(SimpleRandomWalk(), config)
     batch = sampler.sample(api, start=0, count=60, seed=8)
     assert len(set(batch.nodes)) > 25
+
+
+def test_phase_cost_attribution_via_snapshots(graph, config):
+    api = SocialNetworkAPI(graph)
+    sampler = we_full_sampler(SimpleRandomWalk(), config)
+    batch = sampler.sample(api, start=0, count=5, seed=11)
+    report = sampler.last_report
+    # The crawl phase is priced exactly (it runs first on a fresh API).
+    assert report.crawl_cost > 0
+    # Each phase's delta is non-negative and the three never overshoot
+    # the run's total unique-node cost (residual: target-weight lookups).
+    assert report.walk_cost >= 0 and report.backward_cost >= 0
+    attributed = report.crawl_cost + report.walk_cost + report.backward_cost
+    assert attributed <= batch.query_cost
+    # Phases price real charges only: on a warm API the attributed costs
+    # are bounded by the genuinely new nodes that run touched.
+    warm_before = api.snapshot()
+    sampler.sample(api, start=0, count=3, seed=12)
+    warm = sampler.last_report
+    newly_charged = api.counter.delta(warm_before).unique_nodes
+    assert warm.crawl_cost == 0  # crawl zone fully cached
+    assert warm.walk_cost + warm.backward_cost <= newly_charged

@@ -59,7 +59,9 @@ def test_csv_roundtrip():
     rows = list(csv.reader(io.StringIO(csv_text)))
     header = rows[0]
     assert header == ["experiment", "panel", "series", "budget", "error"]
-    data_rows = [r for r in rows[1:] if len(r) == 5 and r[0] == "demo" and r[1] == "panel one"]
+    data_rows = [
+        r for r in rows[1:] if len(r) == 5 and r[0] == "demo" and r[1] == "panel one"
+    ]
     assert len(data_rows) == 3  # 2 SRW points + 1 WE point
     # Table rows come after a blank separator.
     assert any(r[:2] == ["demo", "numbers"] for r in rows if len(r) >= 2)

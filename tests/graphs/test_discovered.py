@@ -1,0 +1,142 @@
+"""DiscoveredGraph: recording, membership, array lookups, compaction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.discovered import DiscoveredGraph
+from repro.graphs.generators import barabasi_albert_graph
+
+
+@pytest.fixture
+def store(small_ba):
+    discovered = DiscoveredGraph(name="test")
+    for node in (0, 1, 2, 7):
+        discovered.record(node, small_ba.neighbors(node))
+    return discovered
+
+
+def test_record_and_row_roundtrip(store, small_ba):
+    assert store.has_row(0)
+    assert store.row(0) == small_ba.neighbors(0)
+    assert store.neighbors(2) == small_ba.neighbors(2)
+    assert store.degree(2) == small_ba.degree(2)
+
+
+def test_unfetched_row_raises(store):
+    assert store.row(25) is None
+    with pytest.raises(NodeNotFoundError):
+        store.neighbors(25)
+    with pytest.raises(NodeNotFoundError):
+        store.degrees_of(np.array([0, 25]))
+
+
+def test_membership_covers_fetched_and_listed(store, small_ba):
+    # Every fetched node and every listed neighbor is a member.
+    expected = {0, 1, 2, 7}
+    for node in (0, 1, 2, 7):
+        expected.update(small_ba.neighbors(node))
+    assert store.membership_size == len(expected)
+    assert set(store.member_ids().tolist()) == expected
+    assert 0 in store
+    assert store.fetched_count == 4
+
+
+def test_mark_adds_membership_without_row(store):
+    before = store.membership_size
+    store.mark(999)
+    assert store.membership_size == before + 1
+    assert not store.has_row(999)
+    assert 999 in store
+
+
+def test_record_is_idempotent(store, small_ba):
+    size = store.membership_size
+    count = store.fetched_count
+    store.record(0, small_ba.neighbors(0))
+    assert (store.membership_size, store.fetched_count) == (size, count)
+
+
+def test_fetched_mask_and_degrees_vectorized(store, small_ba):
+    nodes = np.array([0, 25, 2, 7, 3])
+    mask = store.fetched_mask(nodes)
+    assert mask.tolist() == [True, False, True, True, False]
+    degrees = store.degrees_of(nodes[mask])
+    assert degrees.tolist() == [
+        small_ba.degree(0),
+        small_ba.degree(2),
+        small_ba.degree(7),
+    ]
+    got, known = store.try_degrees(nodes)
+    assert known.tolist() == mask.tolist()
+    assert got[known].tolist() == degrees.tolist()
+
+
+def test_rows_flat_matches_rows(store, small_ba):
+    nodes = np.array([2, 0, 7])
+    flat, lengths = store.rows_flat(nodes)
+    expected = [small_ba.neighbors(int(n)) for n in nodes]
+    assert lengths.tolist() == [len(r) for r in expected]
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    for i, row in enumerate(expected):
+        assert tuple(flat[offsets[i] : offsets[i + 1]].tolist()) == row
+
+
+def test_rows_contain(store, small_ba):
+    row0 = small_ba.neighbors(0)
+    inside, outside = row0[0], 0  # 0 is not its own neighbor
+    result = store.rows_contain(np.array([0, 0]), np.array([inside, outside]))
+    assert result.tolist() == [True, False]
+
+
+def test_sparse_fallback_beyond_dense_limit(small_ba):
+    # Huge ids force the sorted-array path; results must be identical.
+    store = DiscoveredGraph()
+    big = 10**12
+    store.record(big, (big + 1, big + 2))
+    store.record(5, (1, big + 1))
+    assert store.fetched_mask(np.array([big, 5, 17])).tolist() == [True, True, False]
+    assert store.degrees_of(np.array([big, 5])).tolist() == [2, 2]
+    flat, lengths = store.rows_flat(np.array([5, big]))
+    assert flat.tolist() == [1, big + 1, big + 1, big + 2]
+    assert lengths.tolist() == [2, 2]
+    assert store.rows_contain(
+        np.array([big, big]), np.array([big + 2, big + 9])
+    ).tolist() == [True, False]
+
+
+def test_compact_slab(store, small_ba):
+    slab = store.compact()
+    assert slab.csr.number_of_nodes() == store.membership_size
+    assert set(slab.fetched_ids.tolist()) == {0, 1, 2, 7}
+    for node in (0, 1, 2, 7):
+        assert slab.csr.neighbors(node) == small_ba.neighbors(node)
+    # Unfetched members carry empty placeholder rows.
+    frontier = next(
+        int(n) for n in slab.csr.node_ids if not store.has_row(int(n))
+    )
+    assert slab.csr.degree(frontier) == 0
+    # Compaction is cached until the store grows.
+    assert store.compact() is slab
+    store.record(3, small_ba.neighbors(3))
+    assert store.compact() is not slab
+
+
+def test_clear_resets_everything(store):
+    store.clear()
+    assert store.fetched_count == 0
+    assert store.membership_size == 0
+    assert store.fetched_mask(np.array([0, 1])).tolist() == [False, False]
+
+
+def test_incremental_growth_large(rng):
+    # Exercise pool/table doubling well past the initial capacities.
+    graph = barabasi_albert_graph(600, 4, seed=11).relabeled()
+    store = DiscoveredGraph()
+    for node in graph.nodes():
+        store.record(node, graph.neighbors(node))
+    nodes = np.asarray(graph.nodes())
+    assert np.all(store.fetched_mask(nodes))
+    assert store.degrees_of(nodes).tolist() == [graph.degree(int(n)) for n in nodes]
+    flat, lengths = store.rows_flat(nodes)
+    assert int(lengths.sum()) == flat.size == 2 * graph.number_of_edges()

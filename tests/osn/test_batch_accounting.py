@@ -1,0 +1,207 @@
+"""Vectorized query accounting: batch API grain vs the scalar grain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    NodeNotFoundError,
+    QueryBudgetExceededError,
+)
+from repro.osn.accounting import QueryBudget, QueryCounter
+from repro.osn.api import SocialNetworkAPI
+from repro.osn.ratelimit import TokenBucketRateLimiter, VirtualClock
+from repro.osn.restrictions import (
+    FixedRandomKRestriction,
+    RandomKRestriction,
+    TruncatedKRestriction,
+)
+
+
+@pytest.fixture
+def nodes(rng):
+    return rng.integers(0, 30, size=60)
+
+
+# ----------------------------------------------------------------------
+# QueryCounter batch grain
+# ----------------------------------------------------------------------
+def test_charge_batch_matches_scalar_sequence(nodes):
+    scalar, batch = QueryCounter(), QueryCounter()
+    expected = [scalar.charge(int(n)) for n in nodes]
+    got = batch.charge_batch(nodes)
+    assert got.tolist() == expected
+    assert batch.unique_nodes == scalar.unique_nodes
+    assert batch.raw_calls == scalar.raw_calls
+    assert batch.seen_many(nodes).all()
+    assert not batch.seen_many(np.array([999])).any()
+
+
+def test_charge_batch_interleaves_with_scalar(nodes):
+    counter = QueryCounter()
+    counter.charge(int(nodes[0]))
+    new = counter.charge_batch(nodes[:5])
+    assert not new[0] or int(nodes[0]) not in nodes[:1]  # first entry already seen
+    assert counter.seen(int(nodes[1]))
+    counter.record_raw(3)
+    assert counter.raw_calls == 1 + 5 + 3
+
+
+def test_delta_between_snapshots(nodes):
+    counter = QueryCounter()
+    counter.charge_batch(nodes[:10])
+    before = counter.snapshot()
+    counter.charge_batch(nodes)
+    delta = counter.delta(before)
+    assert delta.unique_nodes == counter.unique_nodes - before.unique_nodes
+    assert delta.raw_calls == nodes.size
+    assert before.cost_since(counter.snapshot()) == delta.unique_nodes
+
+
+def test_budget_affordable():
+    counter = QueryCounter()
+    budget = QueryBudget(5)
+    counter.charge_batch(np.arange(3))
+    assert budget.affordable(counter, 10) == 2
+    assert budget.affordable(counter, 1) == 1
+    assert QueryBudget(None).affordable(counter, 10) == 10
+
+
+# ----------------------------------------------------------------------
+# Rate limiter batch grain
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("count", [0, 1, 2, 5, 17])
+def test_acquire_many_equals_sequential(count):
+    scalar = TokenBucketRateLimiter(3, 90.0, clock=VirtualClock())
+    batch = TokenBucketRateLimiter(3, 90.0, clock=VirtualClock())
+    waited = sum(scalar.acquire_or_wait() for _ in range(count))
+    assert batch.acquire_or_wait_many(count) == pytest.approx(waited)
+    assert batch.clock.now == pytest.approx(scalar.clock.now)
+    assert batch.tokens == pytest.approx(scalar.tokens)
+
+
+def test_acquire_many_rejects_negative():
+    limiter = TokenBucketRateLimiter(3, 90.0)
+    with pytest.raises(ConfigurationError):
+        limiter.acquire_or_wait_many(-1)
+
+
+# ----------------------------------------------------------------------
+# API batch grain
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "restriction",
+    [None, FixedRandomKRestriction(2, seed=3), TruncatedKRestriction(2)],
+    ids=["none", "type2", "type3"],
+)
+def test_neighbors_batch_equals_scalar_loop(small_ba, nodes, restriction):
+    other = (
+        None
+        if restriction is None
+        else type(restriction)(2, seed=3)
+        if isinstance(restriction, FixedRandomKRestriction)
+        else TruncatedKRestriction(2)
+    )
+    scalar = SocialNetworkAPI(small_ba, restriction=restriction)
+    batch = SocialNetworkAPI(small_ba, restriction=other)
+    expected = [scalar.neighbors(int(n)) for n in nodes]
+    got = batch.neighbors_batch(nodes)
+    assert got == expected
+    assert batch.query_cost == scalar.query_cost
+    assert batch.raw_calls == scalar.raw_calls
+    assert batch.degrees_batch(nodes).tolist() == [len(r) for r in expected]
+    # Degrees for cached nodes are free (no new raw calls).
+    assert batch.raw_calls == scalar.raw_calls
+
+
+def test_batch_charges_unique_only(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    rows = api.neighbors_batch(np.array([4, 4, 4, 9]))
+    assert len(rows) == 4 and rows[0] == rows[1] == rows[2]
+    assert api.query_cost == 2
+    assert api.raw_calls == 2
+
+
+def test_batch_type1_reinvokes_per_occurrence(small_ba):
+    hub = max(small_ba.nodes(), key=small_ba.degree)
+    api = SocialNetworkAPI(small_ba, restriction=RandomKRestriction(2, seed=1))
+    rows = api.neighbors_batch(np.array([hub, hub, hub, hub]))
+    assert api.raw_calls == 4
+    assert api.query_cost == 1
+    assert len(set(rows)) > 1  # fresh subsets per occurrence
+
+
+def test_batch_unknown_node_is_free(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    with pytest.raises(NodeNotFoundError):
+        api.neighbors_batch(np.array([0, 99999]))
+    assert api.query_cost == 0
+
+
+def test_batch_rejects_bad_shape(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    with pytest.raises(ConfigurationError):
+        api.neighbors_batch(np.zeros((2, 2), dtype=np.int64))
+    with pytest.raises(ConfigurationError):
+        api.degrees_batch(np.zeros((2, 2), dtype=np.int64))
+    assert api.neighbors_batch(np.zeros(0, dtype=np.int64)) == []
+
+
+def test_batch_budget_charges_affordable_prefix(small_ba):
+    api = SocialNetworkAPI(small_ba, budget=QueryBudget(3))
+    with pytest.raises(QueryBudgetExceededError):
+        api.neighbors_batch(np.arange(10))
+    # Exactly the affordable prefix was charged, cached, and stays usable.
+    assert api.query_cost == 3
+    assert [api.neighbors(i) for i in range(3)] == [
+        small_ba.neighbors(i) for i in range(3)
+    ]
+    with pytest.raises(QueryBudgetExceededError):
+        api.neighbors(5)
+
+
+def test_batch_budget_mixed_cached_and_new(small_ba):
+    api = SocialNetworkAPI(small_ba, budget=QueryBudget(4))
+    api.neighbors_batch(np.array([0, 1, 2]))
+    # 0-2 cached: only node 8 is new; fits exactly.
+    rows = api.neighbors_batch(np.array([0, 8, 1]))
+    assert rows[1] == small_ba.neighbors(8)
+    assert api.query_cost == 4
+    with pytest.raises(QueryBudgetExceededError):
+        api.neighbors_batch(np.array([0, 9]))
+    assert api.query_cost == 4
+
+
+def test_batch_rate_limited_invocations(small_ba):
+    clock = VirtualClock()
+    limiter = TokenBucketRateLimiter(capacity=2, period_seconds=60, clock=clock)
+    api = SocialNetworkAPI(small_ba, rate_limiter=limiter)
+    api.neighbors_batch(np.array([0, 1]))
+    assert clock.now == 0.0
+    api.neighbors_batch(np.array([0, 1, 2]))  # one real invocation
+    assert clock.now > 0.0
+
+
+def test_batch_feeds_discovered_graph(small_ba, nodes):
+    api = SocialNetworkAPI(small_ba)
+    api.neighbors_batch(nodes)
+    unique = {int(n) for n in nodes}
+    assert api.discovered.fetched_count == len(unique)
+    assert api.counter.unique_nodes <= api.discovered.membership_size
+    api.reset_accounting()
+    assert api.discovered.fetched_count == 0
+
+
+def test_batch_log_records_invocations(small_ba):
+    api = SocialNetworkAPI(small_ba, log_queries=True)
+    api.neighbors_batch(np.array([3, 3, 5]))
+    assert api.log.entries == [3, 5]
+
+
+def test_api_snapshot_helper(small_ba):
+    api = SocialNetworkAPI(small_ba)
+    before = api.snapshot()
+    api.neighbors_batch(np.arange(5))
+    delta = api.counter.delta(before)
+    assert delta.unique_nodes == 5
+    assert delta.raw_calls == 5

@@ -1,0 +1,143 @@
+"""Property tests for the charged-API accounting invariants.
+
+Two invariants hold under *any* mix of walks, batch lookups, attribute
+fetches, restrictions, and budgets:
+
+* the counter's unique-node cost never exceeds the discovered graph's
+  membership — every charge leaves a trace in the store;
+* a query budget binds *before* the over-budget API call, never after —
+  ``unique_nodes ≤ limit`` at every observable moment, including the
+  instant :class:`QueryBudgetExceededError` is raised.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, QueryBudgetExceededError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.accounting import QueryBudget, QueryCounter
+from repro.osn.api import SocialNetworkAPI
+from repro.osn.restrictions import (
+    FixedRandomKRestriction,
+    RandomKRestriction,
+    TruncatedKRestriction,
+)
+from repro.rng import ensure_rng
+from repro.walks.transitions import MetropolisHastingsWalk, SimpleRandomWalk
+from repro.walks.walker import run_walk
+
+
+def _restriction(kind: int, seed: int):
+    if kind == 1:
+        return RandomKRestriction(2, seed=seed)
+    if kind == 2:
+        return FixedRandomKRestriction(2, seed=seed)
+    if kind == 3:
+        return TruncatedKRestriction(2)
+    return None
+
+
+def _check_invariants(api, limit):
+    assert api.counter.unique_nodes <= api.discovered.membership_size
+    if limit is not None:
+        assert api.counter.unique_nodes <= limit
+
+
+@given(
+    nodes=st.integers(min_value=8, max_value=24),
+    graph_seed=st.integers(min_value=0, max_value=10**6),
+    restriction_kind=st.integers(min_value=0, max_value=3),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=15)),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["walk", "batch", "degrees", "attribute", "neighbors"]),
+            st.integers(min_value=0, max_value=10**6),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_unique_cost_bounded_by_membership_and_budget(
+    nodes, graph_seed, restriction_kind, limit, ops
+):
+    graph = barabasi_albert_graph(nodes, 2, seed=graph_seed).relabeled()
+    graph.set_attribute("x", {n: float(n) for n in graph.nodes()})
+    api = SocialNetworkAPI(
+        graph,
+        budget=QueryBudget(limit),
+        restriction=_restriction(restriction_kind, graph_seed),
+    )
+    designs = [SimpleRandomWalk(), MetropolisHastingsWalk()]
+    for kind, op_seed in ops:
+        rng = ensure_rng(op_seed)
+        try:
+            if kind == "walk":
+                design = designs[op_seed % len(designs)]
+                start = int(rng.integers(0, nodes))
+                run_walk(api, design, start, 4, seed=rng)
+            elif kind == "batch":
+                api.neighbors_batch(rng.integers(0, nodes, size=6))
+            elif kind == "degrees":
+                api.degrees_batch(rng.integers(0, nodes, size=6))
+            elif kind == "attribute":
+                api.attribute(int(rng.integers(0, nodes)), "x")
+            else:
+                api.neighbors(int(rng.integers(0, nodes)))
+        except QueryBudgetExceededError:
+            # Must raise *before* the over-budget call went through.
+            _check_invariants(api, limit)
+        except GraphError:
+            pass  # stuck walk under a harsh restriction; accounting still holds
+        _check_invariants(api, limit)
+
+
+@given(
+    nodes=st.integers(min_value=8, max_value=24),
+    graph_seed=st.integers(min_value=0, max_value=10**6),
+    batches=st.lists(
+        st.lists(st.integers(min_value=0, max_value=23), min_size=1, max_size=10),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_batch_accounting_equals_scalar_accounting(nodes, graph_seed, batches):
+    graph = barabasi_albert_graph(nodes, 2, seed=graph_seed).relabeled()
+    scalar = SocialNetworkAPI(graph)
+    batch = SocialNetworkAPI(graph)
+    for ids in batches:
+        ids = [i % nodes for i in ids]
+        expected = [scalar.neighbors(i) for i in ids]
+        assert batch.neighbors_batch(np.asarray(ids, dtype=np.int64)) == expected
+    assert batch.query_cost == scalar.query_cost
+    assert batch.raw_calls == scalar.raw_calls
+    assert batch.discovered.membership_size == scalar.discovered.membership_size
+
+
+@given(
+    entries=st.lists(st.integers(min_value=0, max_value=30), max_size=40),
+    split=st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_charge_batch_equals_charge_sequence(entries, split):
+    scalar, mixed = QueryCounter(), QueryCounter()
+    expected = [scalar.charge(n) for n in entries]
+    cut = split % (len(entries) + 1)
+    head, tail = entries[:cut], entries[cut:]
+    got = list(mixed.charge_batch(np.asarray(head, dtype=np.int64)))
+    got.extend(mixed.charge(n) for n in tail)
+    assert got == expected
+    assert mixed.unique_nodes == scalar.unique_nodes
+    assert mixed.raw_calls == scalar.raw_calls
+
+
+def test_budget_zero_blocks_everything(small_ba):
+    api = SocialNetworkAPI(small_ba, budget=QueryBudget(0))
+    with pytest.raises(QueryBudgetExceededError):
+        api.neighbors(0)
+    with pytest.raises(QueryBudgetExceededError):
+        api.neighbors_batch(np.array([0, 1]))
+    assert api.query_cost == 0

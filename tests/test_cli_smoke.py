@@ -1,0 +1,71 @@
+"""Smoke tests for the module entry point and the CLI's edge paths."""
+
+import runpy
+import sys
+
+import pytest
+
+from repro import cli
+from repro._version import __version__
+from repro.errors import ExperimentError
+
+
+def test_python_dash_m_repro_version(monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", ["repro", "--version"])
+    with pytest.raises(SystemExit) as excinfo:
+        runpy.run_module("repro", run_name="__main__")
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_python_dash_m_repro_list(monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", ["repro", "list"])
+    with pytest.raises(SystemExit) as excinfo:
+        runpy.run_module("repro", run_name="__main__")
+    assert excinfo.value.code == 0
+    assert "figure6" in capsys.readouterr().out
+
+
+def test_missing_subcommand_exits_with_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main([])
+    assert excinfo.value.code == 2
+    assert "usage" in capsys.readouterr().err.lower()
+
+
+def test_unknown_experiment_raises_experiment_error():
+    with pytest.raises(ExperimentError):
+        cli.main(["run", "figure99"])
+
+
+def test_datasets_all_names_listed(capsys):
+    assert cli.main(["datasets", "--name", "exact_bias"]) == 0
+    out = capsys.readouterr().out
+    assert "exact_bias" in out
+
+
+def test_broken_pipe_exits_quietly(monkeypatch):
+    class _Out:
+        def fileno(self):
+            return 1
+
+    def explode(argv):
+        raise BrokenPipeError()
+
+    closed = []
+    monkeypatch.setattr(cli, "_dispatch", explode)
+    monkeypatch.setattr(cli.sys, "stdout", _Out())
+    monkeypatch.setattr("os.close", lambda fd: closed.append(fd))
+    assert cli.main([]) == 0
+    assert closed == [1]
+
+
+def test_build_parser_round_trips_run_options(tmp_path):
+    parser = cli.build_parser()
+    args = parser.parse_args(
+        ["run", "figure1", "--scale", "quick", "--seed", "3", "--csv", "x.csv"]
+    )
+    assert args.command == "run"
+    assert args.experiment == "figure1"
+    assert args.seed == 3
+    assert str(args.csv) == "x.csv"

@@ -71,7 +71,9 @@ def test_parallel_sampler_yields_chain_count_per_round(small_ba):
     )
     batch = sampler.sample(api, starts=[0, 7, 15], count=6, seed=4)
     assert len(batch) == 6
-    assert all(w == small_ba.degree(n) for n, w in zip(batch.nodes, batch.target_weights))
+    assert all(
+        w == small_ba.degree(n) for n, w in zip(batch.nodes, batch.target_weights)
+    )
 
 
 def test_parallel_sampler_validates(small_ba):

@@ -57,7 +57,8 @@ def test_mixes_faster_than_srw_on_cycle(small_cycle, rng):
     # The [24] selling point: on cycles SRW diffuses, NBRW ballistically
     # covers ground, so its position series decorrelates much faster.
     srw_positions = [
-        float(v) for v in run_walk(small_cycle, SimpleRandomWalk(), 0, 3000, seed=rng).path
+        float(v)
+        for v in run_walk(small_cycle, SimpleRandomWalk(), 0, 3000, seed=rng).path
     ]
     nbrw_positions = [
         float(v) for v in run_nbrw_walk(small_cycle, 0, 3000, seed=rng).path
