@@ -53,6 +53,11 @@ from repro.core.long_run_we import (
     LongRunWalkEstimateSampler,
     long_run_walk_estimate_batch,
 )
+from repro.core.sharded import (
+    long_run_walk_estimate_sharded,
+    merge_batch_results,
+    walk_estimate_sharded,
+)
 
 __all__ = [
     "WalkEstimateConfig",
@@ -79,4 +84,7 @@ __all__ = [
     "IdealWalk",
     "LongRunWalkEstimateSampler",
     "long_run_walk_estimate_batch",
+    "walk_estimate_sharded",
+    "long_run_walk_estimate_sharded",
+    "merge_batch_results",
 ]

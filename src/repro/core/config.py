@@ -29,6 +29,17 @@ class WalkEstimateConfig:
         paper drops to h=1 on Google Plus).
     weighted_sampling:
         Enable WS-BW backward weighting (Algorithm 2).
+    batch_backward:
+        Route each candidate's backward-repetition loop through
+        :func:`repro.core.weighted.ws_bw_batch` — all K repetitions
+        advance together, with each depth level's queries settled in one
+        accounting operation.  The K walks interleave their draws level
+        by level, so the RNG stream differs from the scalar loop's (the
+        flag has its own golden fixtures rather than scalar parity);
+        what a campaign *pays* is unchanged, since every lookup lands in
+        the API's discovered-graph cache exactly as the scalar walks'
+        would.  Designs without a batched transition law (and type-1
+        restricted views) silently fall back to the scalar loop.
     epsilon:
         WS-BW's minimum exploration mass ε (paper default 0.1).
     backward_repetitions:
@@ -61,6 +72,7 @@ class WalkEstimateConfig:
     diameter_hint: int = 10
     crawl_hops: int = 2
     weighted_sampling: bool = True
+    batch_backward: bool = False
     epsilon: float = 0.2
     backward_repetitions: int = 12
     refine_repetitions: int = 4

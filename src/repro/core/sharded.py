@@ -1,0 +1,166 @@
+"""Sharded WALK-ESTIMATE front ends: K walks fanned over worker processes.
+
+The throughput-bound WALK-ESTIMATE entry points
+(:func:`~repro.core.walk_estimate.walk_estimate_batch`,
+:func:`~repro.core.long_run_we.long_run_walk_estimate_batch`) advance K
+walks per NumPy operation in one process.  These front ends fan the same
+computations over a :class:`~repro.walks.parallel.ShardedWalkEngine`:
+each worker runs the ordinary single-process batch estimator on its
+contiguous shard of walks — forward walks, backward estimates,
+calibration, and acceptance–rejection all happen worker-side over the
+shared zero-copy topology — and the per-shard
+:class:`~repro.core.walk_estimate.BatchWalkEstimateResult` records merge
+back in walk order.
+
+Each shard calibrates its own scale-factor pool (``calibration_walks``
+forward walks per shard, priced into ``forward_steps``): the pool is the
+one state the rejection step shares across walks, and shipping it between
+processes would serialize the very phase the fan-out exists to
+parallelize.  A per-shard pool drawn from the same distribution leaves
+every accepted candidate target-distributed, so the merged
+``result.nodes`` / ``result.weights`` feed
+:func:`repro.estimators.aggregates.average_estimate_arrays` exactly as a
+single-process round's do.
+
+With one worker both front ends reproduce their single-process twins
+result for result (same stream, same arithmetic) — the parity hook the
+tests pin; more workers re-partition the randomness deterministically per
+``(seed, n_workers)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import WalkEstimateConfig
+from repro.core.long_run_we import long_run_walk_estimate_batch
+from repro.core.walk_estimate import BatchWalkEstimateResult, walk_estimate_batch
+from repro.errors import ConfigurationError
+from repro.graphs.csr import CSRGraph
+from repro.rng import RngLike
+from repro.walks.parallel import ShardedWalkEngine
+from repro.walks.transitions import Node, TransitionDesign
+
+
+def _we_shard(
+    csr: CSRGraph,
+    design: TransitionDesign,
+    start: Node,
+    k_walks: int,
+    config: WalkEstimateConfig,
+    rng: np.random.Generator,
+) -> BatchWalkEstimateResult:
+    return walk_estimate_batch(csr, design, start, k_walks, config=config, seed=rng)
+
+
+def _long_run_shard(
+    csr: CSRGraph,
+    design: TransitionDesign,
+    starts: np.ndarray,
+    k_runs: int,
+    segments: int,
+    config: WalkEstimateConfig,
+    rng: np.random.Generator,
+) -> BatchWalkEstimateResult:
+    return long_run_walk_estimate_batch(
+        csr, design, starts, k_runs, segments, config=config, seed=rng
+    )
+
+
+def merge_batch_results(
+    parts: List[BatchWalkEstimateResult],
+) -> BatchWalkEstimateResult:
+    """Concatenate per-shard rounds into one walk-ordered result.
+
+    Array fields concatenate in shard order (shards are contiguous walk
+    ranges, so the merged arrays are aligned with the original walk
+    indices); step counters add.
+    """
+    if not parts:
+        raise ConfigurationError("nothing to merge: no shard results")
+    if len(parts) == 1:
+        return parts[0]
+    return BatchWalkEstimateResult(
+        candidates=np.concatenate([p.candidates for p in parts]),
+        estimates=np.concatenate([p.estimates for p in parts]),
+        target_weights=np.concatenate([p.target_weights for p in parts]),
+        acceptance=np.concatenate([p.acceptance for p in parts]),
+        accepted=np.concatenate([p.accepted for p in parts]),
+        forward_steps=sum(p.forward_steps for p in parts),
+        backward_steps=sum(p.backward_steps for p in parts),
+    )
+
+
+def walk_estimate_sharded(
+    engine: ShardedWalkEngine,
+    design: TransitionDesign,
+    start: Node,
+    k_walks: int,
+    config: Optional[WalkEstimateConfig] = None,
+    seed: RngLike = None,
+) -> BatchWalkEstimateResult:
+    """Sharded :func:`~repro.core.walk_estimate.walk_estimate_batch`.
+
+    Splits *k_walks* into per-worker shards, runs one vectorized
+    WALK-ESTIMATE round per shard over the engine's shared topology, and
+    merges the verdicts in walk order.  Same contract as the
+    single-process round; at ``n_workers=1`` the result is identical to
+    it for the same seed.
+
+    Parameters mirror :func:`walk_estimate_batch`, with *engine* replacing
+    the graph.  Feed the merged ``result.nodes`` / ``result.weights`` to
+    :func:`~repro.estimators.aggregates.average_estimate_arrays` for
+    population aggregates.
+    """
+    if k_walks < 1:
+        raise ConfigurationError(f"k_walks must be >= 1, got {k_walks}")
+    config = config if config is not None else WalkEstimateConfig()
+    slices = engine.shard_slices(k_walks)
+    rngs = engine.shard_rngs(len(slices), seed)
+    tasks = [
+        (design, start, s.stop - s.start, config, rng)
+        for s, rng in zip(slices, rngs)
+    ]
+    return merge_batch_results(engine.map_shards(_we_shard, tasks))
+
+
+def long_run_walk_estimate_sharded(
+    engine: ShardedWalkEngine,
+    design: TransitionDesign,
+    start,
+    k_runs: int,
+    segments: int,
+    config: Optional[WalkEstimateConfig] = None,
+    seed: RngLike = None,
+) -> BatchWalkEstimateResult:
+    """Sharded :func:`~repro.core.long_run_we.long_run_walk_estimate_batch`.
+
+    Each worker advances its shard of the K continuous long runs —
+    calibration prefix, per-segment backward estimates, and vectorized
+    acceptance — and the per-shard results merge run-major, so candidate
+    ``i * segments + j`` is run *i*'s segment *j* exactly as in the
+    single-process form.  *start* is one node or an array of ``k_runs``
+    nodes.
+    """
+    if k_runs < 1:
+        raise ConfigurationError(f"k_runs must be >= 1, got {k_runs}")
+    if segments < 1:
+        raise ConfigurationError(f"segments must be >= 1, got {segments}")
+    config = config if config is not None else WalkEstimateConfig()
+    starts = np.asarray(start, dtype=np.int64)
+    if starts.ndim == 0:
+        starts = np.full(k_runs, int(starts), dtype=np.int64)
+    elif starts.shape != (k_runs,):
+        raise ConfigurationError(
+            f"start must be one node or an array of {k_runs} nodes; got "
+            f"shape {starts.shape}"
+        )
+    slices = engine.shard_slices(k_runs)
+    rngs = engine.shard_rngs(len(slices), seed)
+    tasks = [
+        (design, starts[s], s.stop - s.start, segments, config, rng)
+        for s, rng in zip(slices, rngs)
+    ]
+    return merge_batch_results(engine.map_shards(_long_run_shard, tasks))

@@ -312,6 +312,19 @@ def smoothing_constants(
     return out
 
 
+def has_batched_transition(design: TransitionDesign) -> bool:
+    """True if :func:`ws_bw_batch` supports *design*'s transition law.
+
+    The predicate twin of :func:`_require_batchable`, for call sites that
+    fall back to the scalar estimator instead of raising (e.g. the
+    ``batch_backward`` config flag).
+    """
+    if isinstance(design, LazyWalk):
+        return has_batched_transition(design.inner)
+    batchable = (SimpleRandomWalk, MetropolisHastingsWalk, MaxDegreeWalk)
+    return isinstance(design, batchable)
+
+
 def _require_batchable(design: TransitionDesign) -> None:
     """Reject unsupported designs before any query is charged.
 

@@ -78,7 +78,7 @@ def backward_variance(scale: str = "quick", seed: RngLike = 51) -> ExperimentRes
     for _ in range(50):
         history.record(run_walk(graph, design, start, t, seed=walk_rng))
 
-    realizations = 400 if scale == "quick" else 2000
+    realizations = 2000 if scale == "full" else 400
     variants = {
         "UNBIASED-ESTIMATE": lambda: unbiased_estimate(
             graph, design, node, start, t, seed=est_rng
@@ -145,8 +145,8 @@ def restrictions(scale: str = "quick", seed: RngLike = 52) -> ExperimentResult:
     data_rng, run_rng = spawn(rng, 2)
     dataset = build_dataset("ba_synthetic", seed=data_rng, nodes=800, m=6)
     truth = dataset.aggregates["degree"]
-    samples = 40 if scale == "quick" else 150
-    repetitions = 3 if scale == "quick" else 10
+    samples = 150 if scale == "full" else 40
+    repetitions = 10 if scale == "full" else 3
     k = 8
     cases = {
         "unrestricted / SRW": (lambda: None, SimpleRandomWalk()),
@@ -226,7 +226,7 @@ def long_run(scale: str = "quick", seed: RngLike = 53) -> ExperimentResult:
     graph.set_attribute("avg_path", {n: float(v) for n, v in paths.items()})
     truth = graph.attribute_mean("avg_path")
     design = SimpleRandomWalk()
-    samples = 150 if scale == "quick" else 600
+    samples = 600 if scale == "full" else 150
     start = int(ensure_rng(run_rng).integers(0, 1500))
 
     api_short = SocialNetworkAPI(dataset.graph)
@@ -289,8 +289,8 @@ def crawl_baselines(scale: str = "quick", seed: RngLike = 55) -> ExperimentResul
     data_rng, run_rng = spawn(rng, 2)
     dataset = build_dataset("ba_synthetic", seed=data_rng, nodes=3000, m=6)
     truth = dataset.aggregates["degree"]
-    budget = 1500 if scale == "quick" else 4000
-    repetitions = 3 if scale == "quick" else 10
+    budget = 4000 if scale == "full" else 1500
+    repetitions = 10 if scale == "full" else 3
     design = SimpleRandomWalk()
     config = WalkEstimateConfig(diameter_hint=5, crawl_hops=2)
     samplers = {
@@ -353,7 +353,7 @@ def we_long_run(scale: str = "quick", seed: RngLike = 56) -> ExperimentResult:
     degrees = np.array([graph.degree(v) for v in range(n)], dtype=float)
     target = degrees / degrees.sum()
     design = SimpleRandomWalk()
-    total = 1500 if scale == "quick" else 8000
+    total = 8000 if scale == "full" else 1500
     start = int(ensure_rng(run_rng).integers(0, n))
     config = WalkEstimateConfig(diameter_hint=4, crawl_hops=2)
 
@@ -412,7 +412,7 @@ def scale_factor(scale: str = "quick", seed: RngLike = 54) -> ExperimentResult:
     degrees = np.array([graph.degree(v) for v in range(n)], dtype=float)
     target = degrees / degrees.sum()
     design = SimpleRandomWalk()
-    total = 800 if scale == "quick" else 6000
+    total = 6000 if scale == "full" else 800
     start = int(ensure_rng(run_rng).integers(0, n))
 
     table = TableData(

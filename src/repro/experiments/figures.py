@@ -1,8 +1,15 @@
 """One function per paper figure (Figure 4 is a schematic, not data).
 
-Every function takes ``scale`` (``"quick"`` for benchmark-friendly sizes,
-``"full"`` for paper-scale runs) and a ``seed``; each records its actual
+Every function takes ``scale`` and a ``seed``; each records its actual
 workload in the result's notes so rendered output is self-describing.
+Three scales ladder the same code paths:
+
+* ``"smoke"`` — unit-test sizes: every phase of the experiment runs, but
+  on workloads small enough for the test suite (seconds, not minutes).
+  The numbers are structurally valid yet statistically meaningless —
+  never report them.
+* ``"quick"`` — benchmark-friendly sizes (the default).
+* ``"full"`` — paper-scale runs.
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ from repro.walks.transitions import (
     TransitionDesign,
 )
 
-_SCALES = ("quick", "full")
+_SCALES = ("smoke", "quick", "full")
 
 
 def _check_scale(scale: str) -> None:
@@ -142,7 +149,7 @@ def figure2(scale: str = "quick", seed: RngLike = 31) -> ExperimentResult:
 def figure3(scale: str = "quick", seed: RngLike = 31) -> ExperimentResult:
     """Oracle saving ``1 - c(t_opt)/c_RW`` (in %) as graphs grow 8→128."""
     _check_scale(scale)
-    sizes = [8, 16, 32, 64] if scale == "quick" else [8, 16, 32, 64, 128]
+    sizes = [8, 16, 32, 64, 128] if scale == "full" else [8, 16, 32, 64]
     relative_delta = 0.1
     result = ExperimentResult(
         experiment_id="figure3",
@@ -179,7 +186,7 @@ def figure5(scale: str = "quick", seed: RngLike = 5) -> ExperimentResult:
     """
     _check_scale(scale)
     sizes = [11, 21, 31, 41, 51] if scale == "full" else [11, 21, 31, 41]
-    samples = 12 if scale == "quick" else 30
+    samples = 30 if scale == "full" else 12
     rng = ensure_rng(seed)
     srw_series = Series(label="SRW")
     we_series = Series(label="WE")
@@ -267,7 +274,11 @@ def figure6(scale: str = "quick", seed: RngLike = 6) -> ExperimentResult:
     _check_scale(scale)
     rng = ensure_rng(seed)
     data_rng, run_rng = spawn(rng, 2)
-    if scale == "quick":
+    if scale == "smoke":
+        dataset = build_dataset("google_plus", seed=data_rng, nodes=400, m=8)
+        budgets = [200, 400]
+        repetitions = 1
+    elif scale == "quick":
         dataset = build_dataset("google_plus", seed=data_rng, nodes=4000, m=12)
         budgets = [600, 1200, 2400, 3600]
         repetitions = 3
@@ -293,7 +304,11 @@ def figure7(scale: str = "quick", seed: RngLike = 7) -> ExperimentResult:
     _check_scale(scale)
     rng = ensure_rng(seed)
     data_rng, run_rng = spawn(rng, 2)
-    if scale == "quick":
+    if scale == "smoke":
+        dataset = build_dataset("yelp", seed=data_rng, nodes=400, m=4)
+        budgets = [200, 400]
+        repetitions = 1
+    elif scale == "quick":
         dataset = build_dataset("yelp", seed=data_rng, nodes=4000, m=6)
         budgets = [600, 1200, 2400, 3600]
         repetitions = 3
@@ -319,7 +334,11 @@ def figure8(scale: str = "quick", seed: RngLike = 8) -> ExperimentResult:
     _check_scale(scale)
     rng = ensure_rng(seed)
     data_rng, run_rng = spawn(rng, 2)
-    if scale == "quick":
+    if scale == "smoke":
+        dataset = build_dataset("twitter", seed=data_rng, nodes=600, m=8)
+        budgets = [200, 400]
+        repetitions = 1
+    elif scale == "quick":
         dataset = build_dataset("twitter", seed=data_rng, nodes=4000, m=10)
         budgets = [500, 1000, 2000, 3000]
         repetitions = 3
@@ -348,11 +367,17 @@ def figure9(scale: str = "quick", seed: RngLike = 9) -> ExperimentResult:
     _check_scale(scale)
     rng = ensure_rng(seed)
     data_rng, run_rng = spawn(rng, 2)
-    if scale == "quick":
+    if scale == "smoke":
+        dataset = build_dataset("google_plus", seed=data_rng, nodes=400, m=8)
+        budgets = [200, 400]
+        repetitions = 1
+        design_panels: Dict[str, TransitionDesign] = {"SRW": SimpleRandomWalk()}
+        aggregates = ["degree"]
+    elif scale == "quick":
         dataset = build_dataset("google_plus", seed=data_rng, nodes=4000, m=12)
         budgets = [600, 1200, 2400, 3600]
         repetitions = 3
-        design_panels: Dict[str, TransitionDesign] = {"SRW": SimpleRandomWalk()}
+        design_panels = {"SRW": SimpleRandomWalk()}
         aggregates = ["degree", "description_length"]
     else:
         dataset = build_dataset("google_plus", seed=data_rng, nodes=16000, m=35)
@@ -405,7 +430,11 @@ def figure10(scale: str = "quick", seed: RngLike = 10) -> ExperimentResult:
     _check_scale(scale)
     rng = ensure_rng(seed)
     data_rng, run_rng = spawn(rng, 2)
-    if scale == "quick":
+    if scale == "smoke":
+        dataset = build_dataset("google_plus", seed=data_rng, nodes=400, m=8)
+        checkpoints = [5, 10]
+        repetitions = 1
+    elif scale == "quick":
         dataset = build_dataset("google_plus", seed=data_rng, nodes=4000, m=12)
         checkpoints = [10, 20, 40, 80]
         repetitions = 3
@@ -450,7 +479,11 @@ def figure11(scale: str = "quick", seed: RngLike = 11) -> ExperimentResult:
     """BA graphs at three sizes: error vs cost and vs sample count (SRW)."""
     _check_scale(scale)
     rng = ensure_rng(seed)
-    if scale == "quick":
+    if scale == "smoke":
+        sizes = [300, 500]
+        repetitions = 1
+        checkpoints = [5, 10]
+    elif scale == "quick":
         sizes = [1000, 2000, 4000]
         repetitions = 3
         checkpoints = [20, 50, 100]
@@ -507,7 +540,8 @@ def figure12(scale: str = "quick", seed: RngLike = 12) -> ExperimentResult:
     dataset = build_dataset("exact_bias", seed=data_rng)
     graph = dataset.graph
     n = graph.number_of_nodes()
-    total = 3000 if scale == "quick" else 20000
+    totals = {"smoke": 300, "quick": 3000, "full": 20000}
+    total = totals[scale]
     per_run = 60
 
     degrees = np.array([graph.degree(v) for v in range(n)], dtype=float)

@@ -43,6 +43,7 @@ from repro.graphs.convert import (
     to_networkx,
 )
 from repro.graphs.io import load_edge_list, save_edge_list
+from repro.graphs.shm import CSRSlabSpec, SharedCSR
 from repro.graphs.statistics import (
     GraphSummary,
     degree_assortativity,
@@ -84,6 +85,8 @@ __all__ = [
     "csr_to_graph",
     "load_edge_list",
     "save_edge_list",
+    "CSRSlabSpec",
+    "SharedCSR",
     "GraphSummary",
     "summarize",
     "power_law_alpha",

@@ -138,6 +138,39 @@ class CSRGraph:
             indptr, indices, node_ids=ids, name=graph.name, attributes=attributes
         )
 
+    @classmethod
+    def from_validated_parts(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        degrees: np.ndarray,
+        node_ids: np.ndarray,
+        name: str = "csr",
+        attributes: Optional[Dict[str, Dict[Node, float]]] = None,
+    ) -> "CSRGraph":
+        """Assemble a graph from already-validated int64 arrays, copy-free.
+
+        The regular constructor normalizes dtypes (which may copy) and
+        recomputes ``degrees`` — both wrong for arrays that live in a
+        shared-memory segment, where every view must alias the one mapping.
+        :mod:`repro.graphs.shm` validates at share time and attaches
+        through here; the arrays are adopted exactly as passed.
+        """
+        self = cls.__new__(cls)
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = degrees
+        self.node_ids = node_ids
+        self.name = name
+        n = indptr.size - 1
+        self.contiguous = bool(n == 0 or (node_ids[0] == 0 and node_ids[-1] == n - 1))
+        self._attributes = {
+            attr: dict(values) for attr, values in (attributes or {}).items()
+        }
+        self._position = None
+        self._mhrw_selfloop = None
+        return self
+
     def to_graph(self, name: Optional[str] = None) -> "Graph":
         """Thaw back into a mutable :class:`Graph` (exact inverse of
         :meth:`from_graph`)."""

@@ -38,6 +38,7 @@ from repro.walks.gelman_rubin import (
     ParallelBurnInSampler,
     psrf_matrix,
 )
+from repro.walks.parallel import ShardedWalkEngine, default_worker_count
 from repro.walks.raftery_lewis import RafteryLewisResult, raftery_lewis
 from repro.walks.nonbacktracking import NonBacktrackingSampler, run_nbrw_walk
 from repro.walks.autocorr import (
@@ -64,6 +65,8 @@ __all__ = [
     "has_batch_kernel",
     "target_weights_batch",
     "walk_attribute_matrix",
+    "ShardedWalkEngine",
+    "default_worker_count",
     "BurnInSampler",
     "LongRunSampler",
     "SampleBatch",

@@ -125,9 +125,26 @@ def _start_positions(csr: CSRGraph, starts) -> np.ndarray:
 
 
 def _require_alive(degrees: np.ndarray, current: np.ndarray, csr: CSRGraph) -> None:
-    if np.any(degrees == 0):
+    # ``all()`` short-circuits in C without materializing a comparison
+    # array — this runs every step of every batch, so it is on the
+    # narrow-batch critical path.
+    if not degrees.all():
         stuck = int(csr.ids_of(current[degrees == 0][:1])[0])
         raise GraphError(f"random walk stuck: node {stuck} has no neighbors")
+
+
+def _uniform_indices(rng: np.random.Generator, high: np.ndarray) -> np.ndarray:
+    """``rng.integers(0, high)`` with a scalar fast path for one walk.
+
+    NumPy's array-bounds path costs ~5x its scalar path in per-call
+    overhead, which is what made narrow batches slower than the scalar
+    engine.  Both paths run the same per-element Lemire rejection, so
+    they consume identical generator bits — the K=1 parity and golden
+    RNG-stream suites pin this equivalence.
+    """
+    if high.size == 1:
+        return np.array([rng.integers(0, high[0])], dtype=np.int64)
+    return rng.integers(0, high)
 
 
 def _srw_step(
@@ -139,7 +156,7 @@ def _srw_step(
     """One vectorized SRW step: uniform neighbor per walk."""
     deg = csr.degrees[current]
     _require_alive(deg, current, csr)
-    idx = rng.integers(0, deg)
+    idx = _uniform_indices(rng, deg)
     return csr.indices[csr.indptr[current] + idx]
 
 
@@ -157,14 +174,15 @@ def _mhrw_step(
     """
     du = csr.degrees[current]
     _require_alive(du, current, csr)
-    idx = rng.integers(0, du)
+    idx = _uniform_indices(rng, du)
     proposal = csr.indices[csr.indptr[current] + idx]
     dv = csr.degrees[proposal]
     contested = dv > du
+    if not contested.any():
+        return proposal
     accept = np.ones(current.size, dtype=bool)
-    if np.any(contested):
-        coins = rng.random(int(contested.sum()))
-        accept[contested] = coins < du[contested] / dv[contested]
+    coins = rng.random(int(contested.sum()))
+    accept[contested] = coins < du[contested] / dv[contested]
     return np.where(accept, proposal, current)
 
 
@@ -186,8 +204,10 @@ def _lazy_step(
     inner_kernel = _KERNELS[type(design.inner)]
     coins = rng.random(current.size)
     moving = coins >= design.laziness
+    if moving.all():
+        return inner_kernel(csr, design.inner, current, rng)
     nxt = current.copy()
-    if np.any(moving):
+    if moving.any():
         nxt[moving] = inner_kernel(csr, design.inner, current[moving], rng)
     return nxt
 
@@ -229,9 +249,12 @@ def _maxdeg_step(
     check_max_degree(csr, design, current, deg)
     coins = rng.random(current.size)
     moving = coins < design.move_probability(deg)
+    if moving.all():
+        idx = _uniform_indices(rng, deg)
+        return csr.indices[csr.indptr[current] + idx]
     nxt = current.copy()
-    if np.any(moving):
-        idx = rng.integers(0, deg[moving])
+    if moving.any():
+        idx = _uniform_indices(rng, deg[moving])
         nxt[moving] = csr.indices[csr.indptr[current[moving]] + idx]
     return nxt
 
@@ -364,8 +387,8 @@ def run_nbrw_walk_batch(
         _require_alive(deg, current, csr)
         excluded = (previous >= 0) & (deg > 1)
         effective = deg - excluded
-        idx = rng.integers(0, effective)
-        if np.any(excluded):
+        idx = _uniform_indices(rng, effective)
+        if excluded.any():
             # Skip the arrival edge: indices >= its slot shift right by one.
             slot = _rows_searchsorted(csr, current[excluded], previous[excluded])
             bump = idx[excluded] >= slot

@@ -1,0 +1,380 @@
+"""Sharded walk engine: multiprocess fan-out over one shared CSR slab.
+
+The batch engine (:mod:`repro.walks.batch`) advances K walks per NumPy
+operation — one core's worth of throughput.  This module adds the next
+axis: a :class:`ShardedWalkEngine` keeps a persistent pool of worker
+processes, each attached to the *same* zero-copy shared-memory topology
+(:mod:`repro.graphs.shm`), and fans a K-walk batch out as contiguous
+per-worker shards.  Walks are embarrassingly parallel once the topology
+is a frozen read-only slab, so W workers buy close to W× steps/sec on a
+multi-core host — the "Walk, Not Wait" premise, scaled past one process.
+
+**Sharding and determinism.**  A batch of K walks splits into
+``min(n_workers, K)`` contiguous shards of near-equal size.  Each shard
+runs the ordinary single-process kernels over its attached slab with its
+own RNG stream, derived from the caller's seed via :func:`repro.rng.spawn`
+— so results are deterministic for a fixed ``(seed, n_workers)`` and walk
+*i* of the merged result always corresponds to ``starts[i]``.  With one
+shard the caller's stream is used directly, which makes a one-worker
+engine reproduce :func:`repro.walks.batch.run_walk_batch` trajectory for
+trajectory — the parity hook the tests pin.  More workers legitimately
+re-partition the randomness (each walk's law is unchanged; the joint
+stream differs), exactly as the batch engine re-partitions the scalar
+engine's.
+
+**Lifetime.**  The engine owns one shared-memory segment and one process
+pool; both live until :meth:`ShardedWalkEngine.close` (or the ``with``
+block) releases them — workers detach first, then the owner unlinks the
+segment, so no ``/dev/shm`` entry survives a closed engine.  Creating an
+engine costs one topology copy plus worker startup; amortize it by
+running many batches per engine, not one.
+
+**Choosing K and worker count.**  See the ROADMAP's engine table: shard
+width ``K / n_workers`` should stay large enough (≳256) that each worker
+amortizes its per-step NumPy overhead, so prefer fewer workers for small
+batches.  ``n_workers`` beyond the physical core count only adds
+scheduling noise.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.shm import CSRSlabSpec, SharedCSR
+from repro.rng import RngLike, ensure_rng, spawn
+from repro.walks.batch import (
+    BatchWalkResult,
+    GraphLike,
+    as_csr,
+    has_batch_kernel,
+    run_nbrw_walk_batch,
+    run_walk_batch,
+)
+from repro.walks.transitions import TransitionDesign
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+#: The worker's attached slab; set once per process by :func:`_worker_init`.
+_WORKER_SLAB: Optional[SharedCSR] = None
+
+
+def _worker_close() -> None:
+    """Detach the slab at worker exit (owner keeps the unlink duty)."""
+    global _WORKER_SLAB
+    if _WORKER_SLAB is not None:
+        _WORKER_SLAB.close()
+        _WORKER_SLAB = None
+
+
+def _worker_init(spec: CSRSlabSpec) -> None:
+    """Pool initializer: map the shared topology, once per worker."""
+    global _WORKER_SLAB
+    _WORKER_SLAB = SharedCSR.attach(spec)
+    atexit.register(_worker_close)
+
+
+def _run_shard(fn: Callable, args: tuple):
+    """Trampoline executed in the worker: hand *fn* the attached graph."""
+    assert _WORKER_SLAB is not None, "worker pool used before initialization"
+    return fn(_WORKER_SLAB.graph, *args)
+
+
+def _write_rows(segment: str, rows: np.ndarray, offset: int, total_rows: int) -> int:
+    """Write a shard's path rows into the shared output slab.
+
+    Returning the K×(steps+1) trajectory matrix through the executor's
+    result pipe would pickle megabytes per round; writing rows straight
+    into a caller-owned segment makes the merge a single parent-side
+    copy.  Only the row count travels back.
+    """
+    shm = shared_memory.SharedMemory(name=segment)
+    try:
+        view = np.frombuffer(shm.buf, dtype=np.int64, count=total_rows * rows.shape[1])
+        view.reshape(total_rows, rows.shape[1])[offset : offset + rows.shape[0]] = rows
+        del view
+    finally:
+        shm.close()
+    return rows.shape[0]
+
+
+def _walk_shard(
+    csr: CSRGraph,
+    design: TransitionDesign,
+    starts: np.ndarray,
+    steps: int,
+    rng: np.random.Generator,
+    segment: str,
+    offset: int,
+    total_rows: int,
+) -> int:
+    paths = run_walk_batch(csr, design, starts, steps, seed=rng).paths
+    return _write_rows(segment, paths, offset, total_rows)
+
+
+def _nbrw_shard(
+    csr: CSRGraph,
+    starts: np.ndarray,
+    steps: int,
+    rng: np.random.Generator,
+    segment: str,
+    offset: int,
+    total_rows: int,
+) -> int:
+    paths = run_nbrw_walk_batch(csr, starts, steps, seed=rng).paths
+    return _write_rows(segment, paths, offset, total_rows)
+
+
+def default_worker_count() -> int:
+    """Worker count when none is given: the visible CPU count.
+
+    Prefers the scheduling affinity (what the container/cgroup actually
+    grants) over the raw core count.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class ShardedWalkEngine:
+    """Persistent multiprocess fan-out for the batch-walk front ends.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`CSRGraph` (preferred) or mutable
+        :class:`~repro.graphs.graph.Graph`, compiled on the fly.  The
+        topology is copied once into shared memory; later mutations of
+        the source are invisible to the engine.
+    n_workers:
+        Worker processes to keep alive; defaults to the visible CPU
+        count (:func:`default_worker_count`).
+    mp_context:
+        :mod:`multiprocessing` start method.  ``"spawn"`` (default) is
+        portable and genuinely exercises the attach path; ``"fork"``
+        starts faster on Linux.
+
+    Use as a context manager, or call :meth:`close` — the engine holds a
+    shared-memory segment and live processes until released.
+    """
+
+    def __init__(
+        self,
+        graph: GraphLike,
+        n_workers: Optional[int] = None,
+        mp_context: str = "spawn",
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers if n_workers is not None else default_worker_count()
+        # Resolve everything that can fail *before* allocating the
+        # segment — a bad start method must not leave a half-constructed
+        # engine holding a /dev/shm entry until GC.
+        context = multiprocessing.get_context(mp_context)
+        csr = as_csr(graph)
+        self._shared = SharedCSR.create(csr)
+        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(self._shared.spec,),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        """The engine's own zero-copy view of the shared topology."""
+        return self._shared.graph
+
+    @property
+    def segment_name(self) -> str:
+        """Name of the backing shared-memory segment (for diagnostics)."""
+        return self._shared.spec.segment
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released pool and segment."""
+        return self._pool is None
+
+    # ------------------------------------------------------------------
+    # Sharding machinery
+    # ------------------------------------------------------------------
+    def shard_slices(self, k: int) -> List[slice]:
+        """Contiguous near-equal slices covering ``0..k-1``.
+
+        ``min(n_workers, k)`` shards; the first ``k % shards`` shards take
+        one extra walk, exactly like :func:`numpy.array_split`.
+        """
+        shards = min(self.n_workers, k)
+        if shards <= 0:
+            return []
+        base, extra = divmod(k, shards)
+        out: List[slice] = []
+        cursor = 0
+        for i in range(shards):
+            size = base + (1 if i < extra else 0)
+            out.append(slice(cursor, cursor + size))
+            cursor += size
+        return out
+
+    def shard_rngs(self, shards: int, seed: RngLike) -> List[np.random.Generator]:
+        """One independent generator per shard, deterministic per seed.
+
+        A single shard consumes the caller's stream directly — the
+        one-worker parity hook; multiple shards derive children via
+        :func:`repro.rng.spawn`.
+        """
+        rng = ensure_rng(seed)
+        if shards <= 1:
+            return [rng]
+        return spawn(rng, shards)
+
+    def map_shards(self, fn: Callable, per_shard_args: Sequence[tuple]) -> list:
+        """Run ``fn(csr, *args)`` in the pool, one task per shard, in order.
+
+        The generic fan-out the estimator front ends build on: *fn* must
+        be a picklable module-level function whose first parameter is the
+        worker's attached :class:`CSRGraph`; results come back in
+        submission order.
+        """
+        if self._pool is None:
+            raise ConfigurationError("engine is closed")
+        futures = [self._pool.submit(_run_shard, fn, args) for args in per_shard_args]
+        return [future.result() for future in futures]
+
+    def _gather_paths(
+        self,
+        shard_fn: Callable,
+        tasks: List[tuple],
+        slices: List[slice],
+        k: int,
+        steps: int,
+    ) -> np.ndarray:
+        """Fan tasks out and collect their rows via a shared output slab.
+
+        Workers write their contiguous row ranges straight into one
+        transient segment (see :func:`_write_rows`), so the merged
+        ``(K, steps + 1)`` matrix costs one parent-side copy instead of
+        pickling every trajectory through the result pipe.  The segment
+        is unlinked before returning — worker failures included.
+        """
+        rows = steps + 1
+        out = shared_memory.SharedMemory(create=True, size=k * rows * 8)
+        try:
+            written = self.map_shards(
+                shard_fn,
+                [task + (out.name, s.start, k) for task, s in zip(tasks, slices)],
+            )
+            assert sum(written) == k, "shards wrote an unexpected row count"
+            carpet = np.frombuffer(out.buf, dtype=np.int64, count=k * rows)
+            paths = carpet.reshape(k, rows).copy()
+            del carpet
+        finally:
+            out.close()
+            out.unlink()
+        return paths
+
+    # ------------------------------------------------------------------
+    # Walk front ends
+    # ------------------------------------------------------------------
+    def run_walk_batch(
+        self,
+        design: TransitionDesign,
+        starts,
+        steps: int,
+        seed: RngLike = None,
+    ) -> BatchWalkResult:
+        """Sharded :func:`repro.walks.batch.run_walk_batch`.
+
+        Same contract and result type; walk *i* of the merged result
+        started at ``starts[i]``.
+        """
+        if self.closed:
+            raise ConfigurationError("engine is closed")
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        if not has_batch_kernel(design):
+            raise ConfigurationError(
+                f"design {design.name!r} has no batch kernel; the sharded "
+                "engine fans out the batch kernels only"
+            )
+        starts = np.asarray(starts, dtype=np.int64)
+        # Validate starts once, parent-side, so workers never see bad ids.
+        self.graph.positions_of(starts)
+        if starts.size == 0:
+            return BatchWalkResult(paths=np.empty((0, steps + 1), dtype=np.int64))
+        slices = self.shard_slices(starts.size)
+        rngs = self.shard_rngs(len(slices), seed)
+        return BatchWalkResult(
+            paths=self._gather_paths(
+                _walk_shard,
+                [(design, starts[s], steps, rng) for s, rng in zip(slices, rngs)],
+                slices,
+                starts.size,
+                steps,
+            )
+        )
+
+    def run_nbrw_walk_batch(
+        self,
+        starts,
+        steps: int,
+        seed: RngLike = None,
+    ) -> BatchWalkResult:
+        """Sharded :func:`repro.walks.batch.run_nbrw_walk_batch`."""
+        if self.closed:
+            raise ConfigurationError("engine is closed")
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        starts = np.asarray(starts, dtype=np.int64)
+        self.graph.positions_of(starts)
+        if starts.size == 0:
+            return BatchWalkResult(paths=np.empty((0, steps + 1), dtype=np.int64))
+        slices = self.shard_slices(starts.size)
+        rngs = self.shard_rngs(len(slices), seed)
+        return BatchWalkResult(
+            paths=self._gather_paths(
+                _nbrw_shard,
+                [(starts[s], steps, rng) for s, rng in zip(slices, rngs)],
+                slices,
+                starts.size,
+                steps,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Lifetime
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down, then unlink the shared segment.  Idempotent.
+
+        Order matters: workers must detach before the owner unlinks, or
+        their mappings would pin a nameless segment until process exit.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._shared.close()
+
+    def __enter__(self) -> "ShardedWalkEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"workers={self.n_workers}"
+        return f"ShardedWalkEngine(segment={self._shared.spec.segment!r}, {state})"

@@ -1,12 +1,33 @@
-"""Smoke runs of the cheap experiments (the heavy ones run as benchmarks).
+"""Smoke runs of every experiment (the heavy ones via the "smoke" scale).
 
 These assert structural invariants of each experiment's output — the right
 panels, series labels, and basic sanity of the numbers — on workloads small
-enough for the unit-test suite.  Full-size quick/full runs live in
+enough for the unit-test suite.  The cheap experiments run at their normal
+"quick" scale; the surrogate campaigns (Figures 6–12, Table 1) run at the
+dedicated unit-test tier ``scale="smoke"``, which drives every phase of
+the real code path on tiny datasets.  Full-size quick/full runs live in
 ``benchmarks/``.
 """
 
-from repro.experiments.figures import figure1, figure2, figure3, figure5
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+)
+from repro.experiments.tables import table1
 from repro.experiments.extras import backward_variance, long_run
 
 
@@ -80,6 +101,91 @@ def test_crawl_baselines_walks_beat_crawls():
     crawl_best = min(errors["BFS"], errors["DFS"], errors["snowball(3)"])
     walk_best = min(errors["SRW burn-in"], errors["WE"])
     assert walk_best < crawl_best
+
+
+def test_scale_validation_rejects_unknown():
+    with pytest.raises(ExperimentError, match="scale"):
+        figure6(scale="gigantic")
+
+
+def _assert_error_series(result, panel_count, labels):
+    assert len(result.panels) == panel_count
+    for series_list in result.panels.values():
+        assert {s.label for s in series_list} == labels
+        for series in series_list:
+            assert series.y, "series must carry at least one point"
+            for y in series.y:
+                assert math.isfinite(y) and y >= 0.0
+
+
+def test_figure6_smoke_panels():
+    result = figure6(scale="smoke", seed=6)
+    assert len(result.panels) == 4
+    for panel, series_list in result.panels.items():
+        design = "SRW" if "(SRW)" in panel else "MHRW"
+        assert {s.label for s in series_list} == {design, "WE"}
+
+
+def test_figure7_smoke_panels():
+    result = figure7(scale="smoke", seed=7)
+    _assert_error_series(result, 4, {"SRW", "WE"})
+
+
+def test_figure8_smoke_panels():
+    result = figure8(scale="smoke", seed=8)
+    _assert_error_series(result, 4, {"SRW", "WE"})
+
+
+def test_figure9_smoke_has_all_four_variants():
+    result = figure9(scale="smoke", seed=9)
+    _assert_error_series(result, 1, {"WE-None", "WE-Crawl", "WE-Weighted", "WE"})
+
+
+def test_figure10_smoke_checkpoints():
+    result = figure10(scale="smoke", seed=10)
+    assert len(result.panels) == 4
+    for series_list in result.panels.values():
+        for series in series_list:
+            assert set(series.x) <= {5, 10}
+
+
+def test_figure11_smoke_two_views_per_size():
+    result = figure11(scale="smoke", seed=11)
+    assert set(result.panels) == {
+        "(a) relative error vs query cost",
+        "(b) relative error vs number of samples",
+    }
+    cost_labels = {s.label for s in result.panels["(a) relative error vs query cost"]}
+    assert cost_labels == {"SRW-300", "WE-300", "SRW-500", "WE-500"}
+
+
+def test_figure12_smoke_distributions_and_table():
+    result = figure12(scale="smoke", seed=12)
+    pdf_panel = result.panels["PDF (binned)"]
+    labels = {s.label for s in pdf_panel}
+    assert labels == {"Theo", "SRW", "WE"}
+    for series in pdf_panel:
+        assert sum(series.y) == pytest.approx(1.0, abs=1e-6)
+    cdf_panel = result.panels["CDF (at bin right edges)"]
+    for series in cdf_panel:
+        assert series.y[-1] == pytest.approx(1.0, abs=1e-6)
+        assert series.y == sorted(series.y)
+    (table,) = result.tables.values()
+    assert [row[0] for row in table.rows] == ["l_inf", "KL"]
+    for row in table.rows:
+        assert row[1] >= 0.0 and row[2] >= 0.0
+
+
+def test_table1_carries_table_only():
+    result = table1(scale="smoke", seed=12)
+    assert not result.panels
+    (table,) = result.tables.values()
+    assert table.columns == [
+        "distance_measure",
+        "Dist(Theo, SRW)",
+        "Dist(Theo, WE)",
+    ]
+    assert [row[0] for row in table.rows] == ["l_inf", "KL"]
 
 
 def test_we_long_run_matches_target_law():

@@ -1,0 +1,133 @@
+"""Shared-memory CSR slabs: round trip, zero-copy, and lifetime rules."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.graph import Graph
+from repro.graphs.shm import _LIVE_SEGMENTS, CSRSlabSpec, SharedCSR
+
+
+@pytest.fixture()
+def graph():
+    g = barabasi_albert_graph(120, 3, seed=5)
+    g.set_attribute("score", {n: float(n % 7) for n in g.nodes()})
+    return g
+
+
+def _dev_shm(segment: str) -> str:
+    return os.path.join("/dev/shm", segment)
+
+
+class TestRoundTrip:
+    def test_attach_reproduces_graph_exactly(self, graph):
+        csr = graph.compile()
+        with SharedCSR.create(csr) as shared:
+            attached = SharedCSR.attach(shared.spec)
+            twin = attached.graph
+            assert np.array_equal(twin.indptr, csr.indptr)
+            assert np.array_equal(twin.indices, csr.indices)
+            assert np.array_equal(twin.degrees, csr.degrees)
+            assert np.array_equal(twin.node_ids, csr.node_ids)
+            assert twin.name == csr.name
+            assert twin.contiguous == csr.contiguous
+            assert twin.attribute_values("score") == csr.attribute_values("score")
+            back = twin.to_graph()
+            assert back.number_of_nodes() == graph.number_of_nodes()
+            assert back.number_of_edges() == graph.number_of_edges()
+            attached.close()
+
+    def test_non_contiguous_node_ids_survive(self):
+        g = Graph(name="sparse-ids")
+        g.add_edge(10, 20)
+        g.add_edge(20, 40)
+        with SharedCSR.create(g.compile()) as shared:
+            twin = shared.graph
+            assert twin.nodes() == (10, 20, 40)
+            assert twin.neighbors(20) == (10, 40)
+            assert not twin.contiguous
+
+    def test_empty_graph_round_trips(self):
+        with SharedCSR.create(Graph(name="empty").compile()) as shared:
+            assert shared.graph.number_of_nodes() == 0
+            assert shared.graph.nodes() == ()
+
+    def test_spec_is_picklable(self, graph):
+        with SharedCSR.create(graph.compile()) as shared:
+            spec = pickle.loads(pickle.dumps(shared.spec))
+            assert isinstance(spec, CSRSlabSpec)
+            assert spec.segment == shared.spec.segment
+            assert spec.lengths == shared.spec.lengths
+            attached = SharedCSR.attach(spec)
+            assert attached.graph.number_of_edges() == graph.number_of_edges()
+            attached.close()
+
+
+class TestZeroCopy:
+    def test_attached_arrays_are_views_not_copies(self, graph):
+        with SharedCSR.create(graph.compile()) as shared:
+            twin = shared.graph
+            for array in (twin.indptr, twin.indices, twin.degrees, twin.node_ids):
+                assert not array.flags.owndata, "array was copied, not mapped"
+
+    def test_two_attaches_see_one_memory(self, graph):
+        # Writing through one mapping must be visible through the other:
+        # the definition of zero-copy sharing.  (Production code never
+        # writes; this is a throwaway slab.)
+        with SharedCSR.create(graph.compile()) as shared:
+            a = SharedCSR.attach(shared.spec)
+            b = SharedCSR.attach(shared.spec)
+            a.graph.indices[0] = 999
+            assert b.graph.indices[0] == 999
+            a.close()
+            b.close()
+
+
+class TestLifetime:
+    def test_segment_exists_until_owner_closes(self, graph):
+        shared = SharedCSR.create(graph.compile())
+        segment = shared.spec.segment
+        assert os.path.exists(_dev_shm(segment))
+        assert segment in _LIVE_SEGMENTS
+        shared.close()
+        assert not os.path.exists(_dev_shm(segment))
+        assert segment not in _LIVE_SEGMENTS
+
+    def test_attach_close_does_not_unlink(self, graph):
+        shared = SharedCSR.create(graph.compile())
+        attached = SharedCSR.attach(shared.spec)
+        attached.close()
+        assert os.path.exists(_dev_shm(shared.spec.segment))
+        shared.close()
+        assert not os.path.exists(_dev_shm(shared.spec.segment))
+
+    def test_attach_after_unlink_fails(self, graph):
+        shared = SharedCSR.create(graph.compile())
+        spec = shared.spec
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            SharedCSR.attach(spec)
+
+    def test_close_is_idempotent(self, graph):
+        shared = SharedCSR.create(graph.compile())
+        shared.close()
+        shared.close()
+        assert shared.closed
+
+    def test_graph_access_after_close_raises(self, graph):
+        shared = SharedCSR.create(graph.compile())
+        shared.close()
+        with pytest.raises(GraphError, match="closed"):
+            shared.graph
+
+    def test_abandoned_handle_is_finalized(self, graph):
+        # No explicit close: the GC finalizer must still unlink.
+        shared = SharedCSR.create(graph.compile())
+        segment = shared.spec.segment
+        del shared
+        assert not os.path.exists(_dev_shm(segment))
+        assert segment not in _LIVE_SEGMENTS
