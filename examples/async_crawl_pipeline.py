@@ -1,0 +1,77 @@
+"""Walk a graph while you are still crawling it.
+
+The async crawl pipeline applies the paper's "walk, not wait" premise to
+the crawl phase itself: an AsyncCrawler keeps several neighbor-list
+fetches in flight against the charged API, a TopologyPublisher
+periodically compacts everything discovered so far into a fresh
+shared-memory CSR slab, and a sharded walk engine runs estimation rounds
+over each published epoch — so the estimate refines while the network is
+still answering, instead of waiting for the crawl to finish.
+
+All waiting happens on a simulated clock (scripted per-batch latency plus
+rate-limit waits), so the run is deterministic and the wall-clock numbers
+below are reproducible bit for bit.
+
+Run:  PYTHONPATH=src python examples/async_crawl_pipeline.py
+"""
+
+from repro.core.config import CrawlPipelineConfig
+from repro.crawl import CrawlWalkPipeline, FakeClock
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.api import SocialNetworkAPI
+from repro.osn.ratelimit import TokenBucketRateLimiter
+
+
+def run_campaign(concurrency: int) -> None:
+    hidden = barabasi_albert_graph(800, 4, seed=7).relabeled()
+    true_value = 2 * hidden.number_of_edges() / hidden.number_of_nodes()
+    api = SocialNetworkAPI(
+        hidden,
+        # Twitter-flavored: 60 neighbor-list requests per minute.  Rate
+        # waits mirror onto the crawl clock per in-flight slot, i.e. the
+        # crawler behaves like one credential per connection; see the
+        # AsyncCrawler docstring for the single-account reading.
+        rate_limiter=TokenBucketRateLimiter(60, 60.0),
+    )
+    clock = FakeClock()
+    config = CrawlPipelineConfig(
+        concurrency=concurrency,
+        batch_size=16,
+        rows_per_epoch=160,
+        walks_per_epoch=128,
+        steps_per_walk=50,
+    )
+    print(f"--- concurrency={concurrency} ---")
+    with CrawlWalkPipeline(
+        api,
+        0,
+        config=config,
+        n_workers=1,
+        clock=clock,
+        latency=[0.8, 0.3, 1.2, 0.5],  # scripted per-batch network latency
+        seed=42,
+    ) as pipeline:
+        result = pipeline.run()
+    print(f"{'epoch':>5} {'rows':>5} {'walked':>6} {'estimate':>9} {'sim-s':>8}")
+    for record in result.epochs:
+        print(
+            f"{record.epoch:>5} {record.fetched_nodes:>5} "
+            f"{record.walk_nodes:>6} {record.estimate:>9.3f} "
+            f"{record.clock_seconds:>8.1f}"
+        )
+    print(
+        f"true average degree {true_value:.3f}; paid {result.query_cost} "
+        f"queries; campaign took {result.simulated_seconds:.1f} simulated "
+        f"seconds\n"
+    )
+
+
+def main() -> None:
+    # Same campaign, same query cost — the only difference is how much of
+    # the network latency the crawler overlaps.
+    run_campaign(concurrency=1)
+    run_campaign(concurrency=6)
+
+
+if __name__ == "__main__":
+    main()

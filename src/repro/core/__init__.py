@@ -23,7 +23,7 @@ target distribution by acceptance–rejection:
   simultaneous) continuous long runs (§6.1 future work).
 """
 
-from repro.core.config import WalkEstimateConfig
+from repro.core.config import CrawlPipelineConfig, WalkEstimateConfig
 from repro.core.crawl import InitialCrawl
 from repro.core.unbiased import (
     backward_candidates,
@@ -60,6 +60,7 @@ from repro.core.sharded import (
 )
 
 __all__ = [
+    "CrawlPipelineConfig",
     "WalkEstimateConfig",
     "InitialCrawl",
     "unbiased_estimate",

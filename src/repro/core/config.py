@@ -1,8 +1,10 @@
-"""Configuration for WALK-ESTIMATE with the paper's defaults (§7.1)."""
+"""Configuration for WALK-ESTIMATE with the paper's defaults (§7.1),
+plus the async crawl→compact→walk pipeline's knobs."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.errors import ConfigurationError
 
@@ -134,5 +136,60 @@ class WalkEstimateConfig:
         return max(3, self.backward_repetitions // 3)
 
     def with_overrides(self, **changes) -> "WalkEstimateConfig":
+        """Copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class CrawlPipelineConfig:
+    """Knobs of the async crawl→compact→walk pipeline (:mod:`repro.crawl`).
+
+    Attributes
+    ----------
+    concurrency:
+        Fetch batches the :class:`~repro.crawl.crawler.AsyncCrawler` keeps
+        in flight.  1 reproduces the serial crawl's accounting and row
+        order exactly; ≥4 is where the overlap pays on a latency-bound
+        network.
+    batch_size:
+        Frontier nodes per fetch batch — one accounting settlement (one
+        counter charge, one budget decision, one rate acquisition) each.
+    rows_per_epoch:
+        New neighbor rows to crawl before each compact→publish→walk
+        round.  Smaller epochs refine estimates more often but pay the
+        compaction and slab swap more often.
+    walks_per_epoch:
+        Walks launched over each published topology.
+    steps_per_walk:
+        Transitions per walk within an epoch's round.
+    max_depth:
+        Crawl radius around the start (``None`` = everything reachable);
+        matches ``InitialCrawl(hops=max_depth)`` semantics.
+    """
+
+    concurrency: int = 4
+    batch_size: int = 32
+    rows_per_epoch: int = 128
+    walks_per_epoch: int = 128
+    steps_per_walk: int = 50
+    max_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "concurrency",
+            "batch_size",
+            "rows_per_epoch",
+            "walks_per_epoch",
+            "steps_per_walk",
+        ):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise ConfigurationError(f"{field_name} must be >= 1, got {value}")
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ConfigurationError(
+                f"max_depth must be >= 0 or None, got {self.max_depth}"
+            )
+
+    def with_overrides(self, **changes) -> "CrawlPipelineConfig":
         """Copy with the given fields replaced (validation re-runs)."""
         return replace(self, **changes)

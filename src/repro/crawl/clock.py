@@ -1,0 +1,188 @@
+"""Deterministic time for asynchronous crawling: FakeClock + event-loop driver.
+
+The async crawl pipeline must be testable *bit for bit*: every interleaving
+a test asserts has to reproduce exactly, run after run, machine after
+machine.  Real wall-clock time (``asyncio.sleep``) breaks that instantly,
+so the crawl stack never touches it.  Instead:
+
+* :class:`FakeClock` is a virtual-time timer wheel for coroutines.
+  ``await clock.sleep(dt)`` parks the caller on a future keyed by
+  ``(deadline, sequence)`` — the sequence number makes simultaneous
+  deadlines fire in registration order, so even ties are deterministic.
+  Nobody advances time implicitly; the driver does it explicitly, and only
+  when *every* task is blocked.
+* :func:`drive` runs one coroutine to completion on a fresh event loop.
+  Whenever the loop quiesces (no runnable callbacks remain), it jumps the
+  clock to the earliest pending deadline and wakes those sleepers.  The
+  result is a discrete-event simulation: scheduling order depends only on
+  task creation order and scripted deadlines, never on host load.
+
+Determinism rests on two properties worth stating explicitly: asyncio's
+ready queue is FIFO (callbacks run in the order they were scheduled), and
+this stack introduces no real I/O, threads, or wall-clock timers — the
+only suspension points are :meth:`FakeClock.sleep` and queue/future waits
+resolved by other tasks.  Anything built on those primitives replays
+identically for a fixed program order.
+
+:func:`resolve_latency` normalizes the latency scripts tests and
+benchmarks use: a number (constant per batch), a sequence (cycled by batch
+index), a callable ``(batch_index, nodes) -> seconds``, or ``None`` (no
+latency at all).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from numbers import Real
+from typing import Awaitable, Callable, List, Sequence, Tuple, TypeVar, Union
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+#: A latency model: simulated seconds for one fetch batch.
+LatencyFn = Callable[[int, Sequence[int]], float]
+LatencyLike = Union[None, float, Sequence[float], LatencyFn]
+
+#: Yield rounds used when the loop's ready queue cannot be introspected.
+_FALLBACK_YIELDS = 64
+
+
+class FakeClock:
+    """Virtual time for coroutines: sleeps park on a deterministic timer heap.
+
+    The clock never advances on its own.  :func:`drive` (or any caller)
+    advances it via :meth:`advance`, which jumps to the earliest pending
+    deadline and wakes everything due — simultaneous deadlines wake in the
+    order their sleeps were registered.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._timers: List[Tuple[float, int, asyncio.Future]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    async def sleep(self, delay: float) -> None:
+        """Suspend the calling task for *delay* simulated seconds.
+
+        A zero delay still yields once (so a zero-latency fetch is a
+        scheduling point, same as a nonzero one — interleavings stay
+        comparable across latency scripts).  Negative delays are rejected.
+        """
+        if delay < 0:
+            raise ConfigurationError(f"cannot sleep a negative delay: {delay}")
+        if delay == 0:
+            await asyncio.sleep(0)
+            return
+        future = asyncio.get_running_loop().create_future()
+        heapq.heappush(self._timers, (self._now + delay, self._sequence, future))
+        self._sequence += 1
+        await future
+
+    def _prune(self) -> None:
+        """Drop timers whose sleeper was cancelled (future already done)."""
+        while self._timers and self._timers[0][2].done():
+            heapq.heappop(self._timers)
+
+    @property
+    def pending_timers(self) -> int:
+        """Number of live sleepers waiting on this clock."""
+        self._prune()
+        return len(self._timers)
+
+    def advance(self) -> bool:
+        """Jump to the earliest pending deadline and wake everything due.
+
+        Returns False (and leaves time unchanged) when no live timer is
+        pending — the driver's signal that a still-blocked program is
+        deadlocked, not merely waiting.
+        """
+        self._prune()
+        if not self._timers:
+            return False
+        self._now = max(self._now, self._timers[0][0])
+        while self._timers and self._timers[0][0] <= self._now:
+            _, _, future = heapq.heappop(self._timers)
+            if not future.done():
+                future.set_result(None)
+        return True
+
+    def __repr__(self) -> str:
+        return f"FakeClock(now={self._now}, pending={self.pending_timers})"
+
+
+async def _settle(loop: asyncio.AbstractEventLoop) -> None:
+    """Yield until every other task is blocked (the loop is quiescent).
+
+    Reads the loop's ready queue when available — after our own yield
+    returns with the queue empty, no other callback is runnable.  On loops
+    without that attribute, fall back to a fixed number of yields, which
+    is still deterministic (just potentially wasteful).
+    """
+    ready = getattr(loop, "_ready", None)
+    if ready is None:  # pragma: no cover - non-CPython event loop
+        for _ in range(_FALLBACK_YIELDS):
+            await asyncio.sleep(0)
+        return
+    while True:
+        await asyncio.sleep(0)
+        if not ready:
+            return
+
+
+def drive(clock: FakeClock, coro: Awaitable[T]) -> T:
+    """Run *coro* to completion, advancing *clock* whenever all tasks block.
+
+    The deterministic event-loop driver of the crawl test harness: a fresh
+    event loop, no real timers, and explicit virtual-time advancement.
+    Raises :class:`ConfigurationError` if the program blocks with no
+    pending timer (a genuine deadlock — nothing could ever wake it).
+    """
+
+    async def _main() -> T:
+        loop = asyncio.get_running_loop()
+        task = asyncio.ensure_future(coro)
+        while not task.done():
+            await _settle(loop)
+            if task.done():
+                break
+            if not clock.advance():
+                task.cancel()
+                await asyncio.gather(task, return_exceptions=True)
+                raise ConfigurationError(
+                    "deadlock under FakeClock: every task is blocked and no "
+                    "timer is pending"
+                )
+        return await task
+
+    return asyncio.run(_main())
+
+
+def resolve_latency(latency: LatencyLike) -> LatencyFn:
+    """Normalize a latency spec into a ``(batch_index, nodes) -> seconds`` fn.
+
+    ``None`` → always 0; a number → that constant; a sequence → cycled by
+    batch index (the "scripted latency" the deterministic tests use); a
+    callable → returned as-is.
+    """
+    if latency is None:
+        return lambda index, nodes: 0.0
+    if isinstance(latency, Real):
+        value = float(latency)
+        if value < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {value}")
+        return lambda index, nodes: value
+    if callable(latency):
+        return latency
+    script = [float(v) for v in latency]
+    if not script:
+        raise ConfigurationError("latency script must not be empty")
+    if any(v < 0 for v in script):
+        raise ConfigurationError(f"latency script must be >= 0, got {script}")
+    return lambda index, nodes: script[index % len(script)]

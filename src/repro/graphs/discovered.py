@@ -20,12 +20,31 @@ explicit and shared: it accumulates every neighbor list a charged
   part of the network that has already been paid for.
 
 The store is deliberately append-only (plus :meth:`clear` for new
-measurement epochs): it is the state a future asynchronous crawler feeds
-incrementally, per the ROADMAP's sharding/async-crawler items.
+measurement epochs): it is the state the asynchronous crawler
+(:mod:`repro.crawl`) feeds incrementally while a
+:class:`~repro.crawl.publisher.TopologyPublisher` periodically
+re-compacts it for the walkers.
+
+**Locking discipline.**  The async pipeline puts a *producer* (the
+crawler appending rows) and a *consumer* (the publisher compacting) on
+the same store, potentially from different threads.  Rather than leaning
+on CPython's per-opcode atomicity — an implementation detail, and false
+for the multi-step array paths here — every mutator (:meth:`record`,
+:meth:`mark`, :meth:`clear`) and every multi-step reader (the array
+lookups and :meth:`compact`) serializes on one reentrant lock, so a
+compaction always sees a row-complete store and an append never tears a
+half-refreshed id array.  The single-dict scalar reads (:meth:`row`,
+:meth:`has_row`, :meth:`member`, the counts) stay lock-free on purpose:
+each is one dict/set operation returning an immutable value, atomic under
+the GIL by construction, and they sit on the scalar walkers' hot path.
+The lock is reentrant so a locked reader may call another locked reader
+(``compact`` → ``fetched_mask``) without deadlock; hold times are bounded
+by one compaction.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -66,6 +85,40 @@ class DiscoveredSlab:
         """Original ids of the nodes whose rows are real, sorted."""
         return self.csr.node_ids[self.fetched]
 
+    def fetched_csr(self) -> CSRGraph:
+        """The fetched-induced subgraph: paid-for nodes, edges between them.
+
+        Frontier members (seen but never fetched) are dropped entirely —
+        including as targets — so every row is a complete, walkable
+        neighbor list and no walk strands on a placeholder.  The result is
+        symmetric whenever the hidden graph is (an edge survives iff both
+        endpoints were fetched), and it converges to the hidden graph as
+        the crawl completes.  This is the graph the
+        :class:`~repro.crawl.publisher.TopologyPublisher` ships to the
+        walk engine each epoch.
+        """
+        csr, fetched = self.csr, self.fetched
+        fetched_positions = np.flatnonzero(fetched)
+        # Unfetched rows are empty by construction, so masking targets is
+        # the whole filter: every surviving edge starts at a fetched row.
+        keep = fetched[csr.indices]
+        cumulative = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(keep, dtype=np.int64))
+        )
+        kept_per_row = cumulative[csr.indptr[1:]] - cumulative[csr.indptr[:-1]]
+        indptr = np.zeros(fetched_positions.size + 1, dtype=np.int64)
+        np.cumsum(kept_per_row[fetched_positions], out=indptr[1:])
+        # Renumber surviving targets from member positions to fetched
+        # positions; row order (sorted ids) is preserved by the mask.
+        new_position = np.cumsum(fetched, dtype=np.int64) - 1
+        indices = new_position[csr.indices[keep]]
+        return CSRGraph(
+            indptr,
+            indices,
+            node_ids=csr.node_ids[fetched_positions].copy(),
+            name=f"{csr.name}-fetched",
+        )
+
 
 class DiscoveredGraph:
     """Grow-only store of fetched neighbor rows with array-backed lookups.
@@ -79,6 +132,9 @@ class DiscoveredGraph:
 
     def __init__(self, name: str = "discovered") -> None:
         self.name = name
+        # One reentrant lock covers every mutator and every multi-step
+        # array reader — see the module docstring for the discipline.
+        self._lock = threading.RLock()
         self._rows: Dict[Node, Tuple[Node, ...]] = {}
         self._members: set[Node] = set()
         self._generation = 0
@@ -109,13 +165,14 @@ class DiscoveredGraph:
     # ------------------------------------------------------------------
     def record(self, node: Node, neighbors: Tuple[Node, ...]) -> None:
         """Store the fetched neighbor row of *node* (idempotent)."""
-        if self._rows.get(node) == neighbors:
-            return
-        self._rows[node] = neighbors
-        self._append_pool_row(node, neighbors)
-        self._members.add(node)
-        self._members.update(neighbors)
-        self._generation += 1
+        with self._lock:
+            if self._rows.get(node) == neighbors:
+                return
+            self._rows[node] = neighbors
+            self._append_pool_row(node, neighbors)
+            self._members.add(node)
+            self._members.update(neighbors)
+            self._generation += 1
 
     def _append_pool_row(self, node: Node, neighbors: Tuple[Node, ...]) -> None:
         length = len(neighbors)
@@ -158,21 +215,23 @@ class DiscoveredGraph:
         row: profile/attribute fetches, and type-1-restricted neighbor
         calls whose response changes per invocation.
         """
-        before = len(self._members)
-        self._members.add(node)
-        self._members.update(neighbors)
-        if len(self._members) != before:
-            self._generation += 1
+        with self._lock:
+            before = len(self._members)
+            self._members.add(node)
+            self._members.update(neighbors)
+            if len(self._members) != before:
+                self._generation += 1
 
     def clear(self) -> None:
         """Forget everything (new measurement epoch)."""
-        self._rows.clear()
-        self._members.clear()
-        self._pool_used = 0
-        self._slot_by_id.clear()
-        self._dense = True
-        self._slot_table = np.full(1024, -1, dtype=np.int64)
-        self._generation += 1
+        with self._lock:
+            self._rows.clear()
+            self._members.clear()
+            self._pool_used = 0
+            self._slot_by_id.clear()
+            self._dense = True
+            self._slot_table = np.full(1024, -1, dtype=np.int64)
+            self._generation += 1
 
     # ------------------------------------------------------------------
     # Scalar lookups (NeighborView over the paid-for region)
@@ -254,14 +313,21 @@ class DiscoveredGraph:
         raise NodeNotFoundError(int(nodes[slots < 0][0]))
 
     def fetched_ids(self) -> np.ndarray:
-        """Sorted ids of all nodes with cached rows (do not mutate)."""
-        self._refresh_arrays()
-        return self._fetched_ids
+        """Sorted ids of all nodes with cached rows (do not mutate).
+
+        The returned array is a frozen snapshot: a concurrent append
+        rebuilds (never mutates) the internal arrays, so a handed-out
+        reference stays internally consistent even if it goes stale.
+        """
+        with self._lock:
+            self._refresh_arrays()
+            return self._fetched_ids
 
     def member_ids(self) -> np.ndarray:
-        """Sorted ids of all members (do not mutate)."""
-        self._refresh_arrays()
-        return self._member_ids
+        """Sorted ids of all members (do not mutate; snapshot semantics)."""
+        with self._lock:
+            self._refresh_arrays()
+            return self._member_ids
 
     def fetched_mask(self, nodes) -> np.ndarray:
         """Boolean mask: which of *nodes* have a cached neighbor row.
@@ -271,7 +337,8 @@ class DiscoveredGraph:
         charges by.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
-        return self._slots_lookup(nodes) >= 0
+        with self._lock:
+            return self._slots_lookup(nodes) >= 0
 
     def try_degrees(self, nodes) -> Tuple[np.ndarray, np.ndarray]:
         """``(degrees, known)`` in one lookup: degrees valid where known.
@@ -281,11 +348,12 @@ class DiscoveredGraph:
         is already paid for and what it answers.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
-        slots = self._slots_lookup(nodes)
-        known = slots >= 0
-        degrees = np.zeros(nodes.shape, dtype=np.int64)
-        degrees[known] = self._slot_lengths[slots[known]]
-        return degrees, known
+        with self._lock:
+            slots = self._slots_lookup(nodes)
+            known = slots >= 0
+            degrees = np.zeros(nodes.shape, dtype=np.int64)
+            degrees[known] = self._slot_lengths[slots[known]]
+            return degrees, known
 
     def degrees_of(self, nodes) -> np.ndarray:
         """Cached degrees for an array of fetched nodes (one gather).
@@ -299,7 +367,8 @@ class DiscoveredGraph:
         nodes = np.asarray(nodes, dtype=np.int64)
         if nodes.size == 0:
             return np.zeros(0, dtype=np.int64)
-        return self._slot_lengths[self._slots_of(nodes)]
+        with self._lock:
+            return self._slot_lengths[self._slots_of(nodes)]
 
     def rows_flat(self, nodes) -> Tuple[np.ndarray, np.ndarray]:
         """Cached rows of *nodes* as ``(concatenated ids, lengths)`` arrays.
@@ -311,13 +380,14 @@ class DiscoveredGraph:
         nodes = np.asarray(nodes, dtype=np.int64)
         if nodes.size == 0:
             return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
-        slots = self._slots_of(nodes)
-        starts = self._slot_starts[slots]
-        lengths = self._slot_lengths[slots]
-        total = int(lengths.sum())
-        offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
-        flat = self._pool[np.repeat(starts, lengths) + np.arange(total) - offsets]
-        return flat, lengths
+        with self._lock:
+            slots = self._slots_of(nodes)
+            starts = self._slot_starts[slots]
+            lengths = self._slot_lengths[slots]
+            total = int(lengths.sum())
+            offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+            flat = self._pool[np.repeat(starts, lengths) + np.arange(total) - offsets]
+            return flat, lengths
 
     def rows_contain(self, nodes, values) -> np.ndarray:
         """Per-row membership: is ``values[i]`` in *nodes[i]*'s cached row.
@@ -329,25 +399,26 @@ class DiscoveredGraph:
         values = np.asarray(values, dtype=np.int64)
         if nodes.size == 0:
             return np.zeros(0, dtype=bool)
-        slots = self._slots_of(nodes)
-        starts = self._slot_starts[slots]
-        lengths = self._slot_lengths[slots]
-        lo = np.zeros(nodes.size, dtype=np.int64)
-        hi = lengths.copy()
-        while True:
-            active = lo < hi
-            if not active.any():
-                break
-            mid = (lo + hi) >> 1
-            less = np.zeros(nodes.size, dtype=bool)
-            less[active] = self._pool[starts[active] + mid[active]] < values[active]
-            lo = np.where(active & less, mid + 1, lo)
-            hi = np.where(active & ~less, mid, hi)
-        found = lo < lengths
-        found[found] = (
-            self._pool[starts[found] + lo[found]] == values[found]
-        )
-        return found
+        with self._lock:
+            slots = self._slots_of(nodes)
+            starts = self._slot_starts[slots]
+            lengths = self._slot_lengths[slots]
+            lo = np.zeros(nodes.size, dtype=np.int64)
+            hi = lengths.copy()
+            while True:
+                active = lo < hi
+                if not active.any():
+                    break
+                mid = (lo + hi) >> 1
+                less = np.zeros(nodes.size, dtype=bool)
+                less[active] = (
+                    self._pool[starts[active] + mid[active]] < values[active]
+                )
+                lo = np.where(active & less, mid + 1, lo)
+                hi = np.where(active & ~less, mid, hi)
+            found = lo < lengths
+            found[found] = self._pool[starts[found] + lo[found]] == values[found]
+            return found
 
     # ------------------------------------------------------------------
     # Re-compaction
@@ -361,25 +432,30 @@ class DiscoveredGraph:
         listed neighbors are members by construction, so every index
         resolves.  Compaction cost is O(members + cached edges); the slab
         is reused until the store grows.
+
+        Safe against a concurrent producer: the whole compaction holds the
+        store lock, so the slab reflects one well-defined generation —
+        rows appended while it runs land in the *next* compaction.
         """
-        if self._slab is not None and self._slab_generation == self._generation:
+        with self._lock:
+            if self._slab is not None and self._slab_generation == self._generation:
+                return self._slab
+            self._refresh_arrays()
+            members = self._member_ids
+            n = members.size
+            degrees = np.zeros(n, dtype=np.int64)
+            fetched = self.fetched_mask(members)
+            degrees[fetched] = self.degrees_of(members[fetched])
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            flat = np.empty(int(indptr[-1]), dtype=np.int64)
+            for p in np.flatnonzero(fetched):
+                flat[indptr[p] : indptr[p + 1]] = self._rows[int(members[p])]
+            indices = np.searchsorted(members, flat)
+            csr = CSRGraph(indptr, indices, node_ids=members.copy(), name=self.name)
+            self._slab = DiscoveredSlab(csr=csr, fetched=fetched)
+            self._slab_generation = self._generation
             return self._slab
-        self._refresh_arrays()
-        members = self._member_ids
-        n = members.size
-        degrees = np.zeros(n, dtype=np.int64)
-        fetched = self.fetched_mask(members)
-        degrees[fetched] = self.degrees_of(members[fetched])
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(degrees, out=indptr[1:])
-        flat = np.empty(int(indptr[-1]), dtype=np.int64)
-        for p in np.flatnonzero(fetched):
-            flat[indptr[p] : indptr[p + 1]] = self._rows[int(members[p])]
-        indices = np.searchsorted(members, flat)
-        csr = CSRGraph(indptr, indices, node_ids=members.copy(), name=self.name)
-        self._slab = DiscoveredSlab(csr=csr, fetched=fetched)
-        self._slab_generation = self._generation
-        return self._slab
 
     def __repr__(self) -> str:
         return (

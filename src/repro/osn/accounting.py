@@ -128,6 +128,16 @@ class QueryCounter:
             raise ValueError(f"count must be >= 0, got {count}")
         self._raw_calls += count
 
+    def state(self) -> tuple[tuple[int, ...], int]:
+        """Canonical full state: ``(sorted seen ids, raw_calls)``.
+
+        Two counters that report equal states have charged exactly the
+        same node set and made the same number of raw invocations — the
+        equality the async-vs-serial crawl parity tests pin, stronger
+        than comparing the two scalar totals.
+        """
+        return tuple(int(n) for n in self.seen_ids()), self._raw_calls
+
     def snapshot(self) -> "QueryCounterSnapshot":
         """Immutable view of the current counts (cheap, for deltas)."""
         return QueryCounterSnapshot(self.unique_nodes, self._raw_calls)

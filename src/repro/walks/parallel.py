@@ -29,6 +29,19 @@ segment, so no ``/dev/shm`` entry survives a closed engine.  Creating an
 engine costs one topology copy plus worker startup; amortize it by
 running many batches per engine, not one.
 
+**Growing topologies.**  Every task ships the slab *spec* it must run
+against, and workers re-attach lazily whenever the spec changes — so one
+persistent pool can chase a topology that grows between rounds.  Build
+the engine over an externally owned slab with
+:meth:`ShardedWalkEngine.from_shared` and re-point it with
+:meth:`ShardedWalkEngine.update_topology`; slab lifetime (create, retire,
+unlink) then belongs to the caller — in the async crawl pipeline, to the
+epoch/lease machinery of
+:class:`repro.crawl.publisher.TopologyPublisher`, which keeps a
+superseded slab alive until the last round holding it completes.  An
+in-flight round is pinned to the spec its tasks carried: a concurrent
+swap never tears it.
+
 **Choosing K and worker count.**  See the ROADMAP's engine table: shard
 width ``K / n_workers`` should stay large enough (≳256) that each worker
 amortizes its per-step NumPy overhead, so prefer fewer workers for small
@@ -77,17 +90,45 @@ def _worker_close() -> None:
         _WORKER_SLAB = None
 
 
-def _worker_init(spec: CSRSlabSpec) -> None:
-    """Pool initializer: map the shared topology, once per worker."""
+def _ensure_worker_slab(spec: CSRSlabSpec) -> SharedCSR:
+    """Attach (or re-attach) the worker to the slab *spec* names.
+
+    The swap hook: when a task arrives carrying a different segment than
+    the one currently mapped, the worker detaches the stale mapping first
+    — so a retired epoch's memory is released as soon as every worker has
+    moved on, and a worker never reads one epoch's arrays against
+    another's spec.
+    """
     global _WORKER_SLAB
-    _WORKER_SLAB = SharedCSR.attach(spec)
+    if (
+        _WORKER_SLAB is None
+        or _WORKER_SLAB.closed
+        or _WORKER_SLAB.spec.segment != spec.segment
+    ):
+        if _WORKER_SLAB is not None:
+            _WORKER_SLAB.close()
+        _WORKER_SLAB = SharedCSR.attach(spec)
+    return _WORKER_SLAB
+
+
+def _worker_init(spec: CSRSlabSpec) -> None:
+    """Pool initializer: register cleanup and warm-attach the initial slab.
+
+    The warm attach is best-effort: a worker spawned after the engine's
+    topology moved on (possible once slabs are externally owned and
+    retired) finds the initial segment gone — harmless, because every
+    task re-attaches from its own spec via :func:`_ensure_worker_slab`.
+    """
     atexit.register(_worker_close)
+    try:
+        _ensure_worker_slab(spec)
+    except FileNotFoundError:  # pragma: no cover - retired before spawn
+        pass
 
 
-def _run_shard(fn: Callable, args: tuple):
-    """Trampoline executed in the worker: hand *fn* the attached graph."""
-    assert _WORKER_SLAB is not None, "worker pool used before initialization"
-    return fn(_WORKER_SLAB.graph, *args)
+def _run_shard(spec: CSRSlabSpec, fn: Callable, args: tuple):
+    """Trampoline executed in the worker: hand *fn* the task's slab graph."""
+    return fn(_ensure_worker_slab(spec).graph, *args)
 
 
 def _write_rows(segment: str, rows: np.ndarray, offset: int, total_rows: int) -> int:
@@ -171,10 +212,17 @@ class ShardedWalkEngine:
 
     def __init__(
         self,
-        graph: GraphLike,
+        graph: Optional[GraphLike] = None,
         n_workers: Optional[int] = None,
         mp_context: str = "spawn",
+        *,
+        shared: Optional[SharedCSR] = None,
     ) -> None:
+        if (graph is None) == (shared is None):
+            raise ConfigurationError(
+                "provide exactly one of graph (engine-owned slab) or "
+                "shared (externally owned slab)"
+            )
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers if n_workers is not None else default_worker_count()
@@ -182,14 +230,57 @@ class ShardedWalkEngine:
         # segment — a bad start method must not leave a half-constructed
         # engine holding a /dev/shm entry until GC.
         context = multiprocessing.get_context(mp_context)
-        csr = as_csr(graph)
-        self._shared = SharedCSR.create(csr)
+        if shared is not None:
+            if shared.closed:
+                raise ConfigurationError("cannot build an engine on a closed slab")
+            self._shared = shared
+            self._owns_slab = False
+        else:
+            csr = as_csr(graph)
+            self._shared = SharedCSR.create(csr)
+            self._owns_slab = True
         self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
             max_workers=self.n_workers,
             mp_context=context,
             initializer=_worker_init,
             initargs=(self._shared.spec,),
         )
+
+    @classmethod
+    def from_shared(
+        cls,
+        shared: SharedCSR,
+        n_workers: Optional[int] = None,
+        mp_context: str = "spawn",
+    ) -> "ShardedWalkEngine":
+        """Engine over an externally owned slab (swap-capable, borrow-only).
+
+        The engine never closes or unlinks *shared* — the caller (e.g. a
+        :class:`~repro.crawl.publisher.TopologyPublisher`) keeps slab
+        lifetime, and may re-point the engine at successive epochs via
+        :meth:`update_topology` without restarting the worker pool.
+        """
+        return cls(shared=shared, n_workers=n_workers, mp_context=mp_context)
+
+    def update_topology(self, shared: SharedCSR) -> None:
+        """Point subsequent rounds at a different externally owned slab.
+
+        Only valid for engines built with :meth:`from_shared` — an engine
+        that owns its slab has nobody else to manage the old one's
+        lifetime.  In-flight rounds are unaffected (their tasks carry the
+        spec they started with); the caller must keep the old slab alive
+        until those rounds complete, which the publisher's lease machinery
+        does.
+        """
+        if self.closed:
+            raise ConfigurationError("engine is closed")
+        if self._owns_slab:
+            raise ConfigurationError(
+                "engine owns its slab; topology swaps require from_shared(...)"
+            )
+        if shared.closed:
+            raise ConfigurationError("cannot swap to a closed slab")
+        self._shared = shared
 
     # ------------------------------------------------------------------
     # Introspection
@@ -252,7 +343,10 @@ class ShardedWalkEngine:
         """
         if self._pool is None:
             raise ConfigurationError("engine is closed")
-        futures = [self._pool.submit(_run_shard, fn, args) for args in per_shard_args]
+        spec = self._shared.spec
+        futures = [
+            self._pool.submit(_run_shard, spec, fn, args) for args in per_shard_args
+        ]
         return [future.result() for future in futures]
 
     def _gather_paths(
@@ -359,15 +453,18 @@ class ShardedWalkEngine:
     # Lifetime
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the pool down, then unlink the shared segment.  Idempotent.
+        """Shut the pool down, then unlink an engine-owned segment.  Idempotent.
 
         Order matters: workers must detach before the owner unlinks, or
         their mappings would pin a nameless segment until process exit.
+        Borrowed slabs (:meth:`from_shared`) are left untouched — their
+        owner retires them.
         """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        self._shared.close()
+        if self._owns_slab:
+            self._shared.close()
 
     def __enter__(self) -> "ShardedWalkEngine":
         return self

@@ -50,3 +50,37 @@ def test_config_is_frozen():
     config = WalkEstimateConfig()
     with pytest.raises(Exception):
         config.crawl_hops = 5  # type: ignore[misc]
+
+
+class TestCrawlPipelineConfig:
+    def test_defaults_are_valid(self):
+        from repro.core.config import CrawlPipelineConfig
+
+        config = CrawlPipelineConfig()
+        assert config.concurrency == 4
+        assert config.max_depth is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"concurrency": 0},
+            {"batch_size": 0},
+            {"rows_per_epoch": 0},
+            {"walks_per_epoch": 0},
+            {"steps_per_walk": 0},
+            {"max_depth": -1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        from repro.core.config import CrawlPipelineConfig
+
+        with pytest.raises(ConfigurationError):
+            CrawlPipelineConfig(**kwargs)
+
+    def test_with_overrides_revalidates(self):
+        from repro.core.config import CrawlPipelineConfig
+
+        config = CrawlPipelineConfig().with_overrides(concurrency=8, max_depth=3)
+        assert config.concurrency == 8 and config.max_depth == 3
+        with pytest.raises(ConfigurationError):
+            config.with_overrides(batch_size=-2)

@@ -1,0 +1,207 @@
+"""FakeClock and the deterministic event-loop driver."""
+
+import asyncio
+
+import pytest
+
+from repro.crawl.clock import FakeClock, drive, resolve_latency
+from repro.errors import ConfigurationError
+
+
+class TestFakeClock:
+    def test_time_starts_where_told(self):
+        assert FakeClock().now == 0.0
+        assert FakeClock(start=7.5).now == 7.5
+
+    def test_sleep_wakes_at_deadline(self):
+        clock = FakeClock()
+
+        async def nap():
+            await clock.sleep(3.0)
+            return clock.now
+
+        assert drive(clock, nap()) == 3.0
+
+    def test_negative_sleep_rejected(self):
+        clock = FakeClock()
+        with pytest.raises(ConfigurationError, match="negative"):
+            drive(clock, clock.sleep(-1.0))
+
+    def test_zero_sleep_yields_without_advancing(self):
+        clock = FakeClock()
+
+        async def nap():
+            await clock.sleep(0)
+            return clock.now
+
+        assert drive(clock, nap()) == 0.0
+
+    def test_sequential_sleeps_accumulate(self):
+        clock = FakeClock()
+
+        async def naps():
+            for _ in range(4):
+                await clock.sleep(0.5)
+            return clock.now
+
+        assert drive(clock, naps()) == pytest.approx(2.0)
+
+    def test_concurrent_sleepers_wake_in_deadline_order(self):
+        clock = FakeClock()
+        wake_order = []
+
+        async def sleeper(name, delay):
+            await clock.sleep(delay)
+            wake_order.append((name, clock.now))
+
+        async def main():
+            await asyncio.gather(
+                sleeper("slow", 5.0), sleeper("fast", 1.0), sleeper("mid", 3.0)
+            )
+
+        drive(clock, main())
+        assert wake_order == [("fast", 1.0), ("mid", 3.0), ("slow", 5.0)]
+        assert clock.now == 5.0
+
+    def test_simultaneous_deadlines_wake_in_registration_order(self):
+        clock = FakeClock()
+        wake_order = []
+
+        async def sleeper(name):
+            await clock.sleep(2.0)
+            wake_order.append(name)
+
+        async def main():
+            await asyncio.gather(*(sleeper(i) for i in range(5)))
+
+        drive(clock, main())
+        assert wake_order == list(range(5))
+
+    def test_overlapping_sleeps_share_elapsed_time(self):
+        # Two 10-second sleeps in parallel cost 10 seconds, not 20 — the
+        # whole point of overlapping fetches.
+        clock = FakeClock()
+
+        async def main():
+            await asyncio.gather(clock.sleep(10.0), clock.sleep(10.0))
+            return clock.now
+
+        assert drive(clock, main()) == 10.0
+
+    def test_pending_timers_counts_live_sleepers(self):
+        clock = FakeClock()
+        seen = []
+
+        async def main():
+            task = asyncio.ensure_future(clock.sleep(1.0))
+            await asyncio.sleep(0)
+            seen.append(clock.pending_timers)
+            await task
+            seen.append(clock.pending_timers)
+
+        drive(clock, main())
+        assert seen == [1, 0]
+
+    def test_advance_without_timers_returns_false(self):
+        clock = FakeClock()
+        assert not clock.advance()
+        assert clock.now == 0.0
+
+
+class TestDrive:
+    def test_returns_coroutine_result(self):
+        async def forty_two():
+            return 42
+
+        assert drive(FakeClock(), forty_two()) == 42
+
+    def test_propagates_exceptions(self):
+        async def boom():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            drive(FakeClock(), boom())
+
+    def test_deadlock_detected(self):
+        # A task awaiting a future nobody will resolve, with no pending
+        # timer: the driver must refuse to spin forever.
+        async def stuck():
+            await asyncio.get_running_loop().create_future()
+
+        with pytest.raises(ConfigurationError, match="deadlock"):
+            drive(FakeClock(), stuck())
+
+    def test_queue_handoff_between_tasks(self):
+        # Producer/consumer through an asyncio.Queue with scripted
+        # latency: the exact machinery the crawler is built on.
+        clock = FakeClock()
+
+        async def main():
+            queue = asyncio.Queue()
+
+            async def producer():
+                for i in range(3):
+                    await clock.sleep(1.0)
+                    await queue.put(i)
+
+            async def consumer():
+                got = []
+                for _ in range(3):
+                    got.append(await queue.get())
+                return got
+
+            _, got = await asyncio.gather(producer(), consumer())
+            return got
+
+        assert drive(clock, main()) == [0, 1, 2]
+        assert clock.now == 3.0
+
+    def test_replays_identically(self):
+        def once():
+            clock = FakeClock()
+            trace = []
+
+            async def worker(name, delays):
+                for d in delays:
+                    await clock.sleep(d)
+                    trace.append((name, clock.now))
+
+            async def main():
+                await asyncio.gather(
+                    worker("a", [1.0, 2.0]), worker("b", [1.5, 1.5]), worker("c", [3.0])
+                )
+
+            drive(clock, main())
+            return trace
+
+        assert once() == once()
+
+
+class TestResolveLatency:
+    def test_none_is_zero(self):
+        assert resolve_latency(None)(0, [1, 2]) == 0.0
+
+    def test_constant(self):
+        fn = resolve_latency(2.5)
+        assert fn(0, []) == 2.5
+        assert fn(99, [1]) == 2.5
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_latency(-1.0)
+
+    def test_script_cycles_by_batch_index(self):
+        fn = resolve_latency([1.0, 2.0, 3.0])
+        assert [fn(i, []) for i in range(5)] == [1.0, 2.0, 3.0, 1.0, 2.0]
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            resolve_latency([])
+
+    def test_negative_script_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_latency([1.0, -0.5])
+
+    def test_callable_passed_through(self):
+        fn = resolve_latency(lambda index, nodes: index * 0.1)
+        assert fn(3, []) == pytest.approx(0.3)

@@ -1,0 +1,268 @@
+"""AsyncCrawler: serial parity, determinism, backpressure, and budget raises."""
+
+import numpy as np
+import pytest
+
+from repro.core.crawl import InitialCrawl
+from repro.crawl import AsyncCrawler, FakeClock
+from repro.errors import (
+    ConfigurationError,
+    NodeNotFoundError,
+    QueryBudgetExceededError,
+)
+from repro.graphs.generators import barabasi_albert_graph, watts_strogatz_graph
+from repro.osn.accounting import QueryBudget
+from repro.osn.api import SocialNetworkAPI
+from repro.osn.ratelimit import TokenBucketRateLimiter
+from repro.walks.transitions import SimpleRandomWalk
+
+
+@pytest.fixture(scope="module")
+def hidden():
+    return barabasi_albert_graph(90, 3, seed=23).relabeled()
+
+
+def serial_crawl_api(graph, hops, budget=None, limiter=None):
+    """The reference: InitialCrawl's layered batch BFS on a fresh API."""
+    api = SocialNetworkAPI(graph, budget=budget, rate_limiter=limiter)
+    InitialCrawl(api, SimpleRandomWalk(), 0, hops=hops)
+    return api
+
+
+class TestSerialParity:
+    """Satellite pin: concurrency=1, zero latency == the serial batch BFS."""
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 64])
+    def test_counter_state_and_row_order_match_serial(self, hidden, batch_size):
+        serial = serial_crawl_api(hidden, hops=2)
+        api = SocialNetworkAPI(hidden)
+        crawler = AsyncCrawler(
+            api, 0, concurrency=1, batch_size=batch_size, max_depth=2
+        )
+        crawler.crawl()
+        assert api.counter.state() == serial.counter.state()
+        assert list(api.discovered._rows) == list(serial.discovered._rows)
+        assert api.discovered.fetched_count == serial.discovered.fetched_count
+        assert api.discovered.membership_size == serial.discovered.membership_size
+
+    def test_crawled_set_matches_initial_crawl_hops(self, hidden):
+        serial_api = SocialNetworkAPI(hidden)
+        crawl = InitialCrawl(serial_api, SimpleRandomWalk(), 0, hops=1)
+        api = SocialNetworkAPI(hidden)
+        AsyncCrawler(api, 0, concurrency=1, batch_size=16, max_depth=1).crawl()
+        assert set(api.discovered._rows) == set(crawl.crawled_nodes)
+
+    def test_budget_raise_parity(self, hidden):
+        with pytest.raises(QueryBudgetExceededError):
+            serial = SocialNetworkAPI(hidden, budget=QueryBudget(17))
+            InitialCrawl(serial, SimpleRandomWalk(), 0, hops=3)
+        api = SocialNetworkAPI(hidden, budget=QueryBudget(17))
+        crawler = AsyncCrawler(api, 0, concurrency=1, batch_size=5, max_depth=3)
+        with pytest.raises(QueryBudgetExceededError):
+            crawler.crawl()
+        # Identical charged set, raw calls, and discovered row order at
+        # the moment of exhaustion.
+        assert api.counter.state() == serial.counter.state()
+        assert list(api.discovered._rows) == list(serial.discovered._rows)
+        assert crawler.failed and crawler.finished
+
+    def test_rate_limiter_accounting_parity(self, hidden):
+        serial_limiter = TokenBucketRateLimiter(10, 100.0)
+        serial = serial_crawl_api(hidden, hops=2, limiter=serial_limiter)
+        limiter = TokenBucketRateLimiter(10, 100.0)
+        api = SocialNetworkAPI(hidden, rate_limiter=limiter)
+        AsyncCrawler(api, 0, concurrency=1, batch_size=9, max_depth=2).crawl()
+        assert api.counter.state() == serial.counter.state()
+        # Same invocations through the same bucket: same simulated time.
+        assert limiter.clock.now == pytest.approx(serial_limiter.clock.now)
+
+    def test_rate_wait_is_mirrored_onto_the_crawl_clock(self, hidden):
+        # Serially (one slot) the crawl clock tracks the bucket's
+        # simulated waits exactly.
+        limiter = TokenBucketRateLimiter(5, 50.0)
+        api = SocialNetworkAPI(hidden, rate_limiter=limiter)
+        clock = FakeClock()
+        AsyncCrawler(
+            api, 0, concurrency=1, batch_size=4, max_depth=2, clock=clock
+        ).crawl()
+        assert limiter.clock.now > 0.0
+        assert clock.now == pytest.approx(limiter.clock.now)
+
+    def test_rate_wait_mirror_overlaps_under_concurrency(self, hidden):
+        # With more slots the mirrored waits overlap: the crawl clock
+        # still moves (backpressure is real) but never past the bucket's
+        # serially accumulated wait.
+        limiter = TokenBucketRateLimiter(5, 50.0)
+        api = SocialNetworkAPI(hidden, rate_limiter=limiter)
+        clock = FakeClock()
+        AsyncCrawler(
+            api, 0, concurrency=2, batch_size=4, max_depth=2, clock=clock
+        ).crawl()
+        assert 0.0 < clock.now <= limiter.clock.now
+
+
+class TestFullCrawl:
+    def test_unbounded_crawl_discovers_the_component(self, hidden):
+        api = SocialNetworkAPI(hidden)
+        crawler = AsyncCrawler(api, 0, concurrency=4, batch_size=16)
+        stats = crawler.crawl()
+        assert crawler.finished and not crawler.failed
+        assert api.discovered.fetched_count == hidden.number_of_nodes()
+        assert stats.new_rows == hidden.number_of_nodes()
+        # Every row matches the hidden graph's neighbor lists.
+        for node in hidden.nodes():
+            assert api.discovered.neighbors(node) == hidden.neighbors(node)
+
+    def test_concurrency_does_not_change_what_is_paid(self, hidden):
+        states = []
+        for concurrency in (1, 2, 5):
+            api = SocialNetworkAPI(hidden)
+            AsyncCrawler(
+                api, 0, concurrency=concurrency, batch_size=8, latency=[1.0, 3.0, 0.5]
+            ).crawl()
+            states.append(api.counter.state())
+        assert states[0] == states[1] == states[2]
+
+    def test_resumable_chunks_equal_one_shot(self, hidden):
+        one_shot = SocialNetworkAPI(hidden)
+        AsyncCrawler(one_shot, 0, concurrency=1, batch_size=8).crawl()
+        chunked = SocialNetworkAPI(hidden)
+        crawler = AsyncCrawler(chunked, 0, concurrency=1, batch_size=8)
+        chunks = 0
+        while not crawler.finished:
+            stats = crawler.crawl(max_new_rows=13)
+            assert stats.new_rows <= 13
+            chunks += 1
+        assert chunks > 1
+        assert chunked.counter.state() == one_shot.counter.state()
+        assert list(chunked.discovered._rows) == list(one_shot.discovered._rows)
+
+
+class TestConcurrencyAndTime:
+    def test_overlap_beats_serial_on_simulated_time(self, hidden):
+        def simulated(concurrency):
+            api = SocialNetworkAPI(hidden)
+            clock = FakeClock()
+            AsyncCrawler(
+                api, 0, concurrency=concurrency, batch_size=8, clock=clock, latency=1.0
+            ).crawl()
+            return clock.now
+
+        serial, wide = simulated(1), simulated(4)
+        assert wide < serial
+        # With constant latency the speedup approaches the concurrency.
+        assert wide <= serial / 2
+
+    def test_bounded_inflight_backpressure(self, hidden):
+        # With concurrency c and constant latency, batches complete in
+        # waves of ≤ c: simulated duration is at least ceil(batches/c).
+        api = SocialNetworkAPI(hidden)
+        clock = FakeClock()
+        crawler = AsyncCrawler(
+            api, 0, concurrency=3, batch_size=8, clock=clock, latency=1.0
+        )
+        crawler.crawl()
+        assert clock.now >= np.ceil(crawler.batches_issued / 3)
+
+    def test_deterministic_interleaving_per_script(self, hidden):
+        def trace(run):
+            api = SocialNetworkAPI(hidden, log_queries=True)
+            clock = FakeClock()
+            AsyncCrawler(
+                api,
+                0,
+                concurrency=3,
+                batch_size=5,
+                clock=clock,
+                latency=[2.0, 0.5, 1.5, 3.0],
+            ).crawl()
+            return api.log.entries, clock.now, api.counter.state()
+
+        assert trace(0) == trace(1)
+
+    def test_different_scripts_may_reorder_but_not_recharge(self, hidden):
+        def run(latency):
+            api = SocialNetworkAPI(hidden, log_queries=True)
+            AsyncCrawler(api, 0, concurrency=3, batch_size=5, latency=latency).crawl()
+            return api.log.entries, api.counter.state()
+
+        log_a, state_a = run([5.0, 0.1, 0.1])
+        log_b, state_b = run(0.0)
+        assert state_a == state_b
+        assert sorted(log_a) == sorted(log_b)
+
+
+class TestValidationAndFailure:
+    def test_bad_parameters_rejected(self, hidden):
+        api = SocialNetworkAPI(hidden)
+        with pytest.raises(ConfigurationError):
+            AsyncCrawler(api, 0, concurrency=0)
+        with pytest.raises(ConfigurationError):
+            AsyncCrawler(api, 0, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            AsyncCrawler(api, 0, max_depth=-1)
+        with pytest.raises(NodeNotFoundError):
+            AsyncCrawler(api, 10_000)
+
+    def test_bad_chunk_quota_rejected(self, hidden):
+        crawler = AsyncCrawler(SocialNetworkAPI(hidden), 0)
+        with pytest.raises(ConfigurationError):
+            crawler.crawl(max_new_rows=0)
+
+    def test_failed_crawler_refuses_more_chunks(self, hidden):
+        api = SocialNetworkAPI(hidden, budget=QueryBudget(5))
+        crawler = AsyncCrawler(api, 0, concurrency=2, batch_size=4)
+        with pytest.raises(QueryBudgetExceededError):
+            crawler.crawl()
+        with pytest.raises(ConfigurationError, match="failed"):
+            crawler.crawl()
+
+    def test_budget_exhaustion_under_concurrency_charges_at_most_budget(self, hidden):
+        api = SocialNetworkAPI(hidden, budget=QueryBudget(23))
+        crawler = AsyncCrawler(
+            api, 0, concurrency=4, batch_size=6, latency=[1.0, 2.0, 0.5]
+        )
+        with pytest.raises(QueryBudgetExceededError):
+            crawler.crawl()
+        assert api.query_cost <= 23
+        # Everything that settled is genuinely cached.
+        assert api.discovered.fetched_count <= 23
+
+    def test_disconnected_start_finishes_small(self):
+        ws = watts_strogatz_graph(30, 4, 0.0, seed=3).relabeled()
+        ws.add_node(999)
+        api = SocialNetworkAPI(ws)
+        crawler = AsyncCrawler(api, 999, concurrency=2)
+        stats = crawler.crawl()
+        assert stats.new_rows == 1
+        assert crawler.finished
+
+
+class TestExternalCancellation:
+    def test_cancellation_does_not_poison_and_resumes_completely(self, hidden):
+        import asyncio
+
+        from repro.crawl.clock import drive
+
+        api = SocialNetworkAPI(hidden)
+        clock = FakeClock()
+        crawler = AsyncCrawler(
+            api, 0, concurrency=2, batch_size=4, clock=clock, latency=1.0
+        )
+
+        async def interrupt():
+            chunk = asyncio.ensure_future(crawler.crawl_chunk())
+            # Let a couple of waves land, then cancel mid-flight.
+            await clock.sleep(2.5)
+            chunk.cancel()
+            await asyncio.gather(chunk, return_exceptions=True)
+            assert chunk.cancelled()
+
+        drive(clock, interrupt())
+        assert not crawler.failed and not crawler.finished
+        assert 0 < api.discovered.fetched_count < hidden.number_of_nodes()
+        # The interrupted campaign resumes and completes: in-flight
+        # batches went back onto the frontier, nothing was lost.
+        crawler.crawl()
+        assert crawler.finished
+        assert api.discovered.fetched_count == hidden.number_of_nodes()

@@ -78,3 +78,25 @@ def test_query_log_enabled_and_disabled():
     disabled = QueryLog(enabled=False)
     disabled.record(4)
     assert disabled.entries == []
+
+
+def test_counter_state_is_canonical_and_order_free():
+    a, b = QueryCounter(), QueryCounter()
+    for node in (5, 1, 9):
+        a.charge(node)
+    for node in (9, 5, 1):
+        b.charge(node)
+    assert a.state() == b.state() == ((1, 5, 9), 3)
+    # Raw calls distinguish otherwise-equal charge sets.
+    b.charge(1)
+    assert a.state() != b.state()
+
+
+def test_counter_state_matches_batch_equivalent():
+    import numpy as np
+
+    scalar, batched = QueryCounter(), QueryCounter()
+    for node in (3, 3, 7, 2):
+        scalar.charge(node)
+    batched.charge_batch(np.array([3, 3, 7, 2]))
+    assert scalar.state() == batched.state()
