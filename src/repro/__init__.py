@@ -29,6 +29,7 @@ Quickstart::
 
 from repro._version import __version__
 from repro.errors import (
+    AdmissionError,
     ConfigurationError,
     ConvergenceError,
     EstimationError,
@@ -51,9 +52,13 @@ from repro.walks import (
     run_walk_batch,
 )
 from repro.core import (
+    EngineConfig,
+    EstimateResult,
+    EstimationJobSpec,
     IdealWalk,
     WalkEstimateConfig,
     WalkEstimateSampler,
+    estimate,
     walk_estimate_batch,
     we_crawl_sampler,
     we_full_sampler,
@@ -72,6 +77,7 @@ __all__ = [
     "EstimationError",
     "ConvergenceError",
     "ExperimentError",
+    "AdmissionError",
     "Graph",
     "CSRGraph",
     "SocialNetworkAPI",
@@ -91,4 +97,8 @@ __all__ = [
     "we_full_sampler",
     "run_walk_batch",
     "walk_estimate_batch",
+    "estimate",
+    "EstimationJobSpec",
+    "EngineConfig",
+    "EstimateResult",
 ]

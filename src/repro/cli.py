@@ -6,8 +6,15 @@ Usage examples::
     walk-not-wait run figure6 --scale quick --seed 7
     walk-not-wait run table1 --csv out.csv
     walk-not-wait run all --scale quick
+    walk-not-wait estimate --job job.json --dataset ba_synthetic --json
 
 (Equivalently: ``python -m repro ...``.)
+
+The ``estimate`` subcommand is the CLI face of the unified job API: it
+loads an :class:`~repro.core.dispatch.EstimationJobSpec` JSON document
+(``-`` for stdin), builds the requested dataset surrogate, routes the job
+through :func:`repro.core.estimate` on the backend the spec names, and
+prints the importance-weighted degree estimate.
 """
 
 from __future__ import annotations
@@ -59,6 +66,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="also write results as CSV to this path",
+    )
+
+    est = subparsers.add_parser(
+        "estimate",
+        help="run one estimation job spec (JSON) through the unified API",
+    )
+    est.add_argument(
+        "--job",
+        required=True,
+        help="path to an EstimationJobSpec JSON document ('-' for stdin)",
+    )
+    est.add_argument(
+        "--dataset",
+        default="ba_synthetic",
+        help="dataset surrogate to estimate over (see 'datasets')",
+    )
+    est.add_argument(
+        "--dataset-seed", type=int, default=0, help="dataset build seed"
+    )
+    est.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the spec's own seed for this run",
+    )
+    est.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as a JSON document instead of text",
     )
     return parser
 
@@ -117,8 +153,96 @@ def _dispatch(argv: list[str] | None) -> int:
             print(f"wrote CSV to {args.csv}", file=sys.stderr)
         return 0
 
+    if args.command == "estimate":
+        import json
+
+        report = run_job_spec(
+            _load_job_spec(args.job),
+            dataset=args.dataset,
+            dataset_seed=args.dataset_seed,
+            seed=args.seed,
+        )
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            spec_doc = report["spec"]
+            print(f"== estimate over {report['dataset']} ==")
+            print(f"  design           {json.dumps(spec_doc['design'])}")
+            print(f"  backend          {spec_doc['engine']['backend']}")
+            print(f"  accepted         {report['accepted']}/{report['attempts']}")
+            print(f"  estimate         {report['estimate']:.4f}")
+            print(f"  stderr           {report['stderr']:.4f}")
+            print(f"  query cost       {report['query_cost']}")
+        return 0
+
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
+
+
+def _load_job_spec(path: str):
+    """Read an :class:`~repro.core.dispatch.EstimationJobSpec` JSON doc."""
+    from repro.core.dispatch import EstimationJobSpec
+
+    raw = sys.stdin.read() if path == "-" else Path(path).read_text("utf-8")
+    return EstimationJobSpec.from_json(raw)
+
+
+def run_job_spec(spec, *, dataset="ba_synthetic", dataset_seed=0, seed=None):
+    """Run one job spec against a dataset surrogate; return a JSON-safe dict.
+
+    The backend the spec names decides the resources: scalar/charged specs
+    get a fresh charged :class:`~repro.osn.api.SocialNetworkAPI`, batch
+    specs the compiled CSR, sharded specs a transient
+    :class:`~repro.walks.parallel.ShardedWalkEngine`.  All routes go
+    through :func:`repro.core.estimate` — the CLI never touches a legacy
+    front end.
+    """
+    import numpy as np
+
+    from repro.core.dispatch import estimate
+    from repro.datasets.registry import build_dataset
+    from repro.osn.api import SocialNetworkAPI
+    from repro.walks.parallel import ShardedWalkEngine
+
+    graph = build_dataset(dataset, seed=dataset_seed).graph
+    backend = spec.engine.backend
+    api = None
+    if backend in ("scalar", "charged"):
+        api = SocialNetworkAPI(graph)
+        result = estimate(spec, api=api, seed=seed)
+    elif backend == "sharded":
+        engine = ShardedWalkEngine(
+            graph.compile(),
+            n_workers=spec.engine.n_workers or 1,
+            mp_context=spec.engine.mp_context,
+        )
+        with engine:
+            result = estimate(spec, engine=engine, seed=seed)
+    else:
+        result = estimate(spec, graph=graph.compile(), seed=seed)
+
+    values = np.array(
+        [graph.degree(int(node)) for node in result.nodes], dtype=np.float64
+    )
+    with np.errstate(divide="ignore"):
+        weights = 1.0 / result.weights
+    total = float(weights.sum())
+    if values.size and total > 0:
+        mean = float((weights * values).sum() / total)
+        stderr = float(np.sqrt(((weights * (values - mean)) ** 2).sum()) / total)
+    else:
+        mean, stderr = float("nan"), float("inf")
+    return {
+        "dataset": dataset,
+        "spec": spec.to_dict(),
+        "accepted": int(result.accepted),
+        "attempts": int(result.attempts),
+        "acceptance_rate": float(result.acceptance_rate),
+        "estimate": mean,
+        "stderr": stderr,
+        "query_cost": int(api.query_cost if api is not None else result.query_cost),
+        "walk_steps": int(result.walk_steps),
+    }
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -59,7 +59,27 @@ from repro.core.sharded import (
     walk_estimate_sharded,
 )
 
+# The unified front door (PR 6).  Imported last on purpose: binding the
+# `estimate` *function* here shadows the `repro.core.estimate` submodule
+# attribute, which is intended — `from repro.core.estimate import X` keeps
+# working through sys.modules, while `repro.core.estimate(job)` becomes the
+# one public dispatch call the CLI, examples, and service all route through.
+from repro.core.dispatch import (
+    EngineConfig,
+    EstimateResult,
+    EstimationJobSpec,
+    design_from_spec,
+    design_to_spec,
+    estimate,
+)
+
 __all__ = [
+    "estimate",
+    "EstimationJobSpec",
+    "EngineConfig",
+    "EstimateResult",
+    "design_from_spec",
+    "design_to_spec",
     "CrawlPipelineConfig",
     "WalkEstimateConfig",
     "InitialCrawl",

@@ -1,0 +1,543 @@
+"""One front door for every WALK-ESTIMATE engine: ``estimate(job)``.
+
+PRs 1–5 grew five separately-shaped estimation entry points — the scalar
+charged sampler (:class:`~repro.core.walk_estimate.WalkEstimateSampler`),
+its batched-backward charged variant (the PR 4 ``batch_backward`` flag),
+the free-graph batch rounds
+(:func:`~repro.core.walk_estimate.walk_estimate_batch` /
+:func:`~repro.core.long_run_we.long_run_walk_estimate_batch`), and the
+process-sharded forms
+(:func:`~repro.core.sharded.walk_estimate_sharded` /
+:func:`~repro.core.sharded.long_run_walk_estimate_sharded`).  Each is the
+right tool for one regime, but a *caller* — the CLI, the serving layer,
+a notebook — should not have to know five signatures to pick one.
+
+This module is the unification:
+
+* :class:`EngineConfig` names the regime — ``backend`` (``scalar`` /
+  ``charged`` / ``batch`` / ``sharded``) × ``long_run`` — plus the
+  engine-shape knobs (worker count, start method, the PR 4
+  ``batch_backward`` flag);
+* :class:`EstimationJobSpec` is one complete, JSON-round-trippable job
+  description: transition design, sample count, estimand, error target,
+  query budget, tenant, seed, walk knobs, engine config.  It is the wire
+  format of :mod:`repro.service` and the file format of the
+  ``walk-not-wait estimate`` CLI — one schema for both;
+* :func:`estimate` dispatches a spec to the matching front end and wraps
+  the native result in an :class:`EstimateResult` with normalized
+  accessors.
+
+**Parity contract.**  The dispatcher adds *zero* behavior: for any spec it
+calls exactly one of the historical front ends with the same arguments and
+the same seed, so its raw output is bit-identical to the direct call —
+pinned per engine row in ``tests/core/test_dispatch.py``.  The old entry
+points remain importable as the compatibility surface; new code should
+route through :func:`estimate`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.config import WalkEstimateConfig
+from repro.core.long_run_we import (
+    LongRunWalkEstimateSampler,
+    long_run_walk_estimate_batch,
+)
+from repro.core.sharded import (
+    long_run_walk_estimate_sharded,
+    walk_estimate_sharded,
+)
+from repro.core.walk_estimate import (
+    BatchWalkEstimateResult,
+    WalkEstimateSampler,
+    walk_estimate_batch,
+)
+from repro.errors import ConfigurationError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.graph import Graph
+from repro.rng import RngLike
+from repro.walks.samplers import SampleBatch
+from repro.walks.transitions import (
+    LazyWalk,
+    MaxDegreeWalk,
+    MetropolisHastingsWalk,
+    SimpleRandomWalk,
+    TransitionDesign,
+)
+
+#: Backends the dispatcher knows.  ``charged`` is the scalar sampler with
+#: the PR 4 ``batch_backward`` flag forced on — the batched-accounting
+#: charged-API regime of the ROADMAP engine table.
+BACKENDS = ("scalar", "charged", "batch", "sharded")
+
+#: Estimands the serving layer can evaluate for free (from the discovered
+#: store, no API charges).  The spec carries the name; the service maps it.
+ESTIMANDS = ("degree",)
+
+
+# ----------------------------------------------------------------------
+# Transition-design specs (the JSON form of a TransitionDesign)
+# ----------------------------------------------------------------------
+def design_from_spec(spec: Union[str, Mapping[str, Any]]) -> TransitionDesign:
+    """Build a transition design from its JSON-safe spec.
+
+    Accepted forms::
+
+        "srw"                                   # shorthand for {"name": "srw"}
+        {"name": "mhrw"}
+        {"name": "maxdeg", "max_degree": 40}
+        {"name": "lazy", "laziness": 0.5, "inner": "srw"}   # inner nests
+
+    Only the WALK-ESTIMATE-capable designs are constructible here (SRW,
+    MHRW, LazyWalk over any of them, MaxDegreeWalk) — the rows of the
+    ROADMAP engine table the batch/sharded front ends support.
+    """
+    if isinstance(spec, str):
+        spec = {"name": spec}
+    if not isinstance(spec, Mapping) or "name" not in spec:
+        raise ConfigurationError(
+            f"design spec must be a name or a mapping with a 'name', got {spec!r}"
+        )
+    name = spec["name"]
+    extras = {k: v for k, v in spec.items() if k != "name"}
+    if name == "srw":
+        _reject_extras(name, extras)
+        return SimpleRandomWalk()
+    if name == "mhrw":
+        _reject_extras(name, extras)
+        return MetropolisHastingsWalk()
+    if name == "maxdeg":
+        missing = {"max_degree"} - set(extras)
+        if missing:
+            raise ConfigurationError("maxdeg design spec needs 'max_degree'")
+        _reject_extras(name, {k: v for k, v in extras.items() if k != "max_degree"})
+        return MaxDegreeWalk(max_degree=int(extras["max_degree"]))
+    if name == "lazy":
+        if "inner" not in extras:
+            raise ConfigurationError("lazy design spec needs an 'inner' design")
+        laziness = float(extras.get("laziness", 0.5))
+        unknown = set(extras) - {"inner", "laziness"}
+        if unknown:
+            _reject_extras(name, {k: extras[k] for k in unknown})
+        return LazyWalk(design_from_spec(extras["inner"]), laziness=laziness)
+    raise ConfigurationError(
+        f"unknown design {name!r}; valid: srw, mhrw, maxdeg, lazy"
+    )
+
+
+def _reject_extras(name: str, extras: Mapping[str, Any]) -> None:
+    if extras:
+        raise ConfigurationError(
+            f"unexpected keys for design {name!r}: {sorted(extras)}"
+        )
+
+
+def design_to_spec(design: TransitionDesign) -> Dict[str, Any]:
+    """The inverse of :func:`design_from_spec`: a JSON-safe design spec."""
+    if isinstance(design, SimpleRandomWalk):
+        return {"name": "srw"}
+    if isinstance(design, MetropolisHastingsWalk):
+        return {"name": "mhrw"}
+    if isinstance(design, MaxDegreeWalk):
+        return {"name": "maxdeg", "max_degree": int(design.max_degree)}
+    if isinstance(design, LazyWalk):
+        return {
+            "name": "lazy",
+            "laziness": float(design.laziness),
+            "inner": design_to_spec(design.inner),
+        }
+    raise ConfigurationError(
+        f"design {design!r} has no spec form (not WALK-ESTIMATE-capable)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineConfig:
+    """Which estimation engine a job runs on, and its shape.
+
+    Attributes
+    ----------
+    backend:
+        ``scalar`` — the per-query charged sampler over a
+        :class:`~repro.osn.api.SocialNetworkAPI`; ``charged`` — the same
+        sampler with ``batch_backward`` forced on (each candidate's
+        backward repetitions advance together, one accounting settlement
+        per depth level — the PR 4 flag, folded in here); ``batch`` — the
+        vectorized free-graph round over a compiled
+        :class:`~repro.graphs.csr.CSRGraph`; ``sharded`` — the same round
+        fanned over a :class:`~repro.walks.parallel.ShardedWalkEngine`.
+    long_run:
+        Segment one (or K) continuous walks instead of restarting per
+        sample (§6.1 future work) — selects the ``long_run_*`` twin of
+        the chosen backend.  Not available for ``charged``.
+    n_workers / mp_context:
+        Engine shape used when the *caller* asks :func:`estimate` to own
+        a sharded engine's lifetime (the CLI does); ignored when an
+        engine is passed in.
+    batch_backward:
+        The PR 4 flag on the scalar backend: route each candidate's
+        backward-repetition loop through
+        :func:`~repro.core.weighted.ws_bw_batch`.  ``charged`` implies it.
+    """
+
+    backend: str = "batch"
+    long_run: bool = False
+    n_workers: Optional[int] = None
+    mp_context: str = "spawn"
+    batch_backward: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; valid: {', '.join(BACKENDS)}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1 or None, got {self.n_workers}"
+            )
+        if self.backend == "charged" and self.long_run:
+            raise ConfigurationError(
+                "the charged (batch_backward) regime has no long-run form; "
+                "use backend='scalar' with long_run=True"
+            )
+
+    @property
+    def effective_batch_backward(self) -> bool:
+        """Whether the scalar sampler should run batched backward walks."""
+        return self.batch_backward or self.backend == "charged"
+
+    def with_overrides(self, **changes) -> "EngineConfig":
+        """Copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (the wire/CLI schema)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
+        return cls(**_checked_fields(cls, data))
+
+
+def _checked_fields(cls, data: Mapping[str, Any]) -> Dict[str, Any]:
+    valid = {f for f in cls.__dataclass_fields__}
+    unknown = set(data) - valid
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {cls.__name__} keys: {sorted(unknown)}; valid: {sorted(valid)}"
+        )
+    return dict(data)
+
+
+# ----------------------------------------------------------------------
+# Job specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EstimationJobSpec:
+    """One complete estimation job, as data.
+
+    The single schema shared by the :func:`estimate` dispatcher, the
+    ``walk-not-wait estimate --job job.json`` CLI, and the
+    :mod:`repro.service` wire format — a spec built in code round-trips
+    through :meth:`to_json` / :meth:`from_json` unchanged.
+
+    Attributes
+    ----------
+    design:
+        Transition-design spec (see :func:`design_from_spec`); stored
+        canonically as a dict, accepted as a shorthand string too.
+    samples:
+        Scalar/charged: samples to draw.  Batch/sharded: walks per round
+        (``k_walks``), or continuous runs (``k_runs``) under ``long_run``.
+    start:
+        Walk origin.
+    segments:
+        Segments per continuous run (``long_run`` engines only).
+    estimand:
+        What the serving layer evaluates on the accepted samples —
+        ``degree`` (true discovered degree, free per §2.4) is built in;
+        the dispatcher itself only carries the name.
+    error_target:
+        Stop refining once the running estimate's standard error is at or
+        under this (service-level semantics; ``None`` = run to budget).
+    query_budget:
+        Unique-node budget for this job's *tenant* (service-level
+        admission/preemption input; the scalar backends also honor the
+        API's own budget).
+    tenant:
+        Accounting principal for :class:`~repro.osn.accounting.TenantLedger`
+        attribution.
+    seed:
+        Deterministic seed; ``None`` lets the caller supply a stream.
+    walk:
+        The :class:`~repro.core.config.WalkEstimateConfig` knobs.
+    engine:
+        The :class:`EngineConfig` regime selection.
+    """
+
+    design: Union[str, Mapping[str, Any]] = "srw"
+    samples: int = 1
+    start: int = 0
+    segments: int = 1
+    estimand: str = "degree"
+    error_target: Optional[float] = None
+    query_budget: Optional[int] = None
+    tenant: str = "default"
+    seed: Optional[int] = None
+    walk: WalkEstimateConfig = field(default_factory=WalkEstimateConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        # Canonicalize the design spec eagerly: errors surface at spec
+        # construction, not mid-dispatch, and to_dict() is total.
+        canonical = design_to_spec(design_from_spec(self.design))
+        object.__setattr__(self, "design", canonical)
+        if self.samples < 1:
+            raise ConfigurationError(f"samples must be >= 1, got {self.samples}")
+        if self.segments < 1:
+            raise ConfigurationError(f"segments must be >= 1, got {self.segments}")
+        if self.estimand not in ESTIMANDS:
+            raise ConfigurationError(
+                f"unknown estimand {self.estimand!r}; valid: {', '.join(ESTIMANDS)}"
+            )
+        if self.error_target is not None and self.error_target <= 0:
+            raise ConfigurationError(
+                f"error_target must be > 0 or None, got {self.error_target}"
+            )
+        if self.query_budget is not None and self.query_budget < 0:
+            raise ConfigurationError(
+                f"query_budget must be >= 0 or None, got {self.query_budget}"
+            )
+        if not self.tenant:
+            raise ConfigurationError("tenant must be a non-empty string")
+
+    def build_design(self) -> TransitionDesign:
+        """The spec's transition design, constructed fresh."""
+        return design_from_spec(self.design)
+
+    def walk_config(self) -> WalkEstimateConfig:
+        """The walk knobs with the engine's ``batch_backward`` folded in."""
+        if self.engine.effective_batch_backward and not self.walk.batch_backward:
+            return self.walk.with_overrides(batch_backward=True)
+        return self.walk
+
+    def with_overrides(self, **changes) -> "EstimationJobSpec":
+        """Copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form — the service wire format and CLI schema."""
+        return {
+            "design": dict(self.design),
+            "samples": self.samples,
+            "start": self.start,
+            "segments": self.segments,
+            "estimand": self.estimand,
+            "error_target": self.error_target,
+            "query_budget": self.query_budget,
+            "tenant": self.tenant,
+            "seed": self.seed,
+            "walk": asdict(self.walk),
+            "engine": self.engine.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EstimationJobSpec":
+        """Inverse of :meth:`to_dict`; nested configs rebuild and re-validate."""
+        fields = _checked_fields(cls, data)
+        if "walk" in fields and isinstance(fields["walk"], Mapping):
+            fields["walk"] = WalkEstimateConfig(
+                **_checked_fields(WalkEstimateConfig, fields["walk"])
+            )
+        if "engine" in fields and isinstance(fields["engine"], Mapping):
+            fields["engine"] = EngineConfig.from_dict(fields["engine"])
+        return cls(**fields)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to JSON (one job per document)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EstimationJobSpec":
+        """Parse a :meth:`to_json` document (or any dict matching the schema)."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"job JSON must be an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EstimateResult:
+    """Normalized view over whichever front end a job dispatched to.
+
+    :attr:`raw` is the front end's native return value, untouched — the
+    parity tests compare it field for field against a direct call.  The
+    accessors below give every backend one shape: accepted sample nodes,
+    their target weights, and the cost/effort counters that exist for the
+    backend (zero where the regime has none, e.g. query cost on free
+    graphs).
+    """
+
+    spec: EstimationJobSpec
+    raw: Union[SampleBatch, BatchWalkEstimateResult]
+
+    @property
+    def nodes(self) -> np.ndarray:
+        """Accepted sample node ids, as an int64 array."""
+        if isinstance(self.raw, SampleBatch):
+            return np.asarray(self.raw.nodes, dtype=np.int64)
+        return np.asarray(self.raw.nodes, dtype=np.int64)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Target weights aligned to :attr:`nodes` (feed
+        :func:`~repro.estimators.aggregates.average_estimate_arrays`)."""
+        if isinstance(self.raw, SampleBatch):
+            return np.asarray(self.raw.target_weights, dtype=np.float64)
+        return np.asarray(self.raw.weights, dtype=np.float64)
+
+    @property
+    def accepted(self) -> int:
+        """Number of accepted samples."""
+        return int(self.nodes.size)
+
+    @property
+    def attempts(self) -> int:
+        """Accept/reject decisions made (== candidates judged)."""
+        if isinstance(self.raw, SampleBatch):
+            return len(self.raw.nodes)  # scalar batches keep only accepts
+        return int(self.raw.accepted.size)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of candidates accepted, where the backend reports it."""
+        if isinstance(self.raw, BatchWalkEstimateResult):
+            return self.raw.acceptance_rate
+        return 1.0  # scalar SampleBatch records accepted samples only
+
+    @property
+    def query_cost(self) -> int:
+        """Unique-node queries the round charged (0 on free graphs)."""
+        if isinstance(self.raw, SampleBatch):
+            return int(self.raw.query_cost)
+        return 0
+
+    @property
+    def walk_steps(self) -> int:
+        """Forward + backward transitions taken."""
+        if isinstance(self.raw, SampleBatch):
+            return int(self.raw.walk_steps)
+        return int(self.raw.forward_steps + self.raw.backward_steps)
+
+    def to_sample_batch(self) -> SampleBatch:
+        """The result as a :class:`SampleBatch` (scalar-era tooling)."""
+        if isinstance(self.raw, SampleBatch):
+            return self.raw
+        return self.raw.to_sample_batch()
+
+
+# ----------------------------------------------------------------------
+# The dispatcher
+# ----------------------------------------------------------------------
+def estimate(
+    job: EstimationJobSpec,
+    *,
+    api=None,
+    graph: Optional[Union[Graph, CSRGraph]] = None,
+    engine=None,
+    seed: RngLike = None,
+) -> EstimateResult:
+    """Run one estimation job on whichever engine its spec selects.
+
+    Exactly one resource matching the spec's backend must be supplied:
+
+    ========== =====================================================
+    backend     required resource
+    ========== =====================================================
+    scalar      ``api`` — a charged :class:`~repro.osn.api.SocialNetworkAPI`
+    charged     ``api`` (the sampler runs with ``batch_backward`` on)
+    batch       ``graph`` — a :class:`~repro.graphs.graph.Graph` or
+                compiled :class:`~repro.graphs.csr.CSRGraph`
+    sharded     ``engine`` — a live
+                :class:`~repro.walks.parallel.ShardedWalkEngine`
+    ========== =====================================================
+
+    *seed* overrides the spec's seed when given — the hook callers that
+    manage their own RNG streams (the serving layer's per-job generators)
+    use; with neither, randomness is unseeded.
+
+    The dispatch is a pure fan-out: the selected front end receives the
+    same design, start, counts, config, and seed a direct call would, so
+    ``result.raw`` is bit-identical to that direct call — the parity
+    contract ``tests/core/test_dispatch.py`` pins for every engine row.
+    """
+    design = job.build_design()
+    config = job.walk_config()
+    backend = job.engine.backend
+    run_seed = seed if seed is not None else job.seed
+
+    if backend in ("scalar", "charged"):
+        if api is None:
+            raise ConfigurationError(
+                f"backend {backend!r} estimates against a charged API; pass api=..."
+            )
+        if job.engine.long_run:
+            sampler: Any = LongRunWalkEstimateSampler(design, config)
+        else:
+            sampler = WalkEstimateSampler(design, config)
+        raw: Union[SampleBatch, BatchWalkEstimateResult] = sampler.sample(
+            api, job.start, job.samples, seed=run_seed
+        )
+    elif backend == "batch":
+        if graph is None:
+            raise ConfigurationError(
+                "backend 'batch' runs over a free in-memory graph; pass graph=..."
+            )
+        if job.engine.long_run:
+            raw = long_run_walk_estimate_batch(
+                graph,
+                design,
+                job.start,
+                job.samples,
+                job.segments,
+                config=config,
+                seed=run_seed,
+            )
+        else:
+            raw = walk_estimate_batch(
+                graph, design, job.start, job.samples, config=config, seed=run_seed
+            )
+    else:  # sharded — BACKENDS is closed, __post_init__ enforced membership
+        if engine is None:
+            raise ConfigurationError(
+                "backend 'sharded' fans over a ShardedWalkEngine; pass engine=..."
+            )
+        if job.engine.long_run:
+            raw = long_run_walk_estimate_sharded(
+                engine,
+                design,
+                job.start,
+                job.samples,
+                job.segments,
+                config=config,
+                seed=run_seed,
+            )
+        else:
+            raw = walk_estimate_sharded(
+                engine, design, job.start, job.samples, config=config, seed=run_seed
+            )
+    return EstimateResult(spec=job, raw=raw)

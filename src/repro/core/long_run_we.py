@@ -199,6 +199,11 @@ def long_run_walk_estimate_batch(
     BatchWalkEstimateResult
         Candidate arrays flattened run-major; ``result.nodes`` /
         ``result.weights`` feed the array-native estimators directly.
+
+    .. note:: **Compatibility front end.**  Prefer
+       :func:`repro.core.estimate` with ``EngineConfig(backend="batch",
+       long_run=True)``; this signature stays as a thin, parity-pinned
+       shim.
     """
     if k_runs < 1:
         raise ConfigurationError(f"k_runs must be >= 1, got {k_runs}")

@@ -113,6 +113,10 @@ def walk_estimate_sharded(
     the graph.  Feed the merged ``result.nodes`` / ``result.weights`` to
     :func:`~repro.estimators.aggregates.average_estimate_arrays` for
     population aggregates.
+
+    .. note:: **Compatibility front end.**  Prefer
+       :func:`repro.core.estimate` with ``EngineConfig(backend="sharded")``;
+       this signature stays as a thin, parity-pinned shim.
     """
     if k_walks < 1:
         raise ConfigurationError(f"k_walks must be >= 1, got {k_walks}")
@@ -143,6 +147,11 @@ def long_run_walk_estimate_sharded(
     ``i * segments + j`` is run *i*'s segment *j* exactly as in the
     single-process form.  *start* is one node or an array of ``k_runs``
     nodes.
+
+    .. note:: **Compatibility front end.**  Prefer
+       :func:`repro.core.estimate` with ``EngineConfig(backend="sharded",
+       long_run=True)``; this signature stays as a thin, parity-pinned
+       shim.
     """
     if k_runs < 1:
         raise ConfigurationError(f"k_runs must be >= 1, got {k_runs}")

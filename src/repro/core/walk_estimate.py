@@ -322,6 +322,13 @@ def walk_estimate_batch(
     population aggregates exactly as the scalar pipeline does.  Rejection
     thins the batch: expect ``len(result.nodes) < k_walks``, and run
     another round (fresh seed) if more samples are needed.
+
+    .. note:: **Compatibility front end.**  New call sites should go
+       through :func:`repro.core.estimate` with
+       ``EngineConfig(backend="batch")`` — the unified dispatcher is
+       parity-pinned to this function and is the only entry point the
+       serving layer and CLI use.  This signature stays as a thin
+       compatibility shim.
     """
     if k_walks < 1:
         raise ConfigurationError(f"k_walks must be >= 1, got {k_walks}")

@@ -536,6 +536,13 @@ def ws_bw_batch(
 
     Returns an array of shape ``(len(nodes),)`` of non-negative
     realizations, each with expectation ``p_t(node)``.
+
+    .. note:: **Compatibility front end.**  External callers wanting the
+       charged batched-backward regime should go through
+       :func:`repro.core.estimate` with ``EngineConfig(backend="charged")``
+       (the dispatcher forces ``batch_backward=True`` on the sampler,
+       which routes every backward loop here); this direct signature
+       remains the internal building block.
     """
     if t < 0:
         raise ValueError(f"t must be >= 0, got {t}")

@@ -70,5 +70,15 @@ class ConvergenceError(ReproError):
     """Raised when a convergence monitor cannot make a determination."""
 
 
+class AdmissionError(ReproError):
+    """Raised when the serving layer cannot accept a job.
+
+    Two shapes: backpressure (the bounded pending queue is full — retry
+    later or use the awaiting submit path) and rejection (the job spec is
+    one the service cannot run, e.g. a charged scalar backend against the
+    shared free topology).
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment is misconfigured or references unknown ids."""

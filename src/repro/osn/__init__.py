@@ -19,6 +19,7 @@ from repro.osn.accounting import (
     QueryCounter,
     QueryCounterSnapshot,
     QueryLog,
+    TenantLedger,
 )
 from repro.osn.api import SocialNetworkAPI
 from repro.osn.ratelimit import TokenBucketRateLimiter, VirtualClock
@@ -38,6 +39,7 @@ __all__ = [
     "QueryCounterSnapshot",
     "QueryCostDelta",
     "QueryLog",
+    "TenantLedger",
     "NeighborRestriction",
     "RandomKRestriction",
     "FixedRandomKRestriction",

@@ -17,13 +17,14 @@ critical path of the batched charged-API engine.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
 from repro.arrays import sorted_lookup
-from repro.errors import QueryBudgetExceededError
+from repro.errors import ConfigurationError, QueryBudgetExceededError
 
 
 @dataclass
@@ -179,6 +180,107 @@ class QueryCostDelta:
 
     unique_nodes: int
     raw_calls: int
+
+
+class TenantLedger:
+    """Per-tenant attribution of one global :class:`QueryCounter`'s charge.
+
+    The serving layer multiplexes many tenants over a single charged API,
+    so §2.4's cost model needs a second axis: *who* caused each unique-node
+    charge.  The ledger does not intercept queries — the counter stays the
+    single source of truth — it brackets each phase of work with
+    :meth:`attribute`, measuring the counter's ``unique_nodes`` before and
+    after and booking the difference to the phase's tenant.  Because the
+    charged API is cacheable, a unique-node charge happens exactly once,
+    at the moment the first tenant touches the node: rows one tenant paid
+    for are free for every later tenant (the whole point of the shared
+    :class:`~repro.graphs.discovered.DiscoveredGraph`), and the ledger's
+    books reflect that automatically.
+
+    **Balance invariant.**  Per-tenant charges are accumulated
+    independently of the counter's own total, so
+    ``sum(charges().values()) + unattributed() == counter.unique_nodes -
+    baseline`` is a real cross-check, not an identity;
+    :meth:`assert_balanced` additionally demands that *nothing* escaped
+    attribution — the property the service bench pins ("per-tenant budgets
+    sum exactly to the global ``QueryCounter`` charge").
+
+    Attribution phases cannot nest or overlap: with one shared counter
+    there is no way to split a concurrent delta between two tenants, and
+    the serving layer's cooperative scheduler never needs to — exactly one
+    tenant's work charges the API at a time.
+    """
+
+    def __init__(self, counter: QueryCounter) -> None:
+        self.counter = counter
+        #: Counter charge present before the ledger started watching; never
+        #: attributed to anyone.
+        self.baseline = counter.unique_nodes
+        self._charges: Dict[str, int] = {}
+        self._open_phase: Optional[str] = None
+
+    @contextmanager
+    def attribute(self, tenant: str) -> Iterator[None]:
+        """Book every unique-node charge inside the ``with`` to *tenant*.
+
+        Attribution is exception-safe: if the phase raises (typically
+        :class:`~repro.errors.QueryBudgetExceededError` after the API
+        charged the affordable prefix of a batch), the prefix that *was*
+        charged is still booked before the exception propagates.
+        """
+        if not tenant:
+            raise ConfigurationError("tenant must be a non-empty string")
+        if self._open_phase is not None:
+            raise ConfigurationError(
+                f"attribution phase for tenant {self._open_phase!r} is still "
+                f"open; phases cannot nest or overlap"
+            )
+        self._open_phase = tenant
+        before = self.counter.unique_nodes
+        try:
+            yield
+        finally:
+            self._open_phase = None
+            delta = self.counter.unique_nodes - before
+            if delta:
+                self._charges[tenant] = self._charges.get(tenant, 0) + delta
+
+    def charged(self, tenant: str) -> int:
+        """Unique-node charge booked to *tenant* so far."""
+        return self._charges.get(tenant, 0)
+
+    def charges(self) -> Dict[str, int]:
+        """Copy of the per-tenant charge map (tenants with charge > 0)."""
+        return dict(self._charges)
+
+    def total_attributed(self) -> int:
+        """Sum of all per-tenant charges."""
+        return sum(self._charges.values())
+
+    def unattributed(self) -> int:
+        """Charge accrued outside any :meth:`attribute` phase."""
+        return self.counter.unique_nodes - self.baseline - self.total_attributed()
+
+    def assert_balanced(self) -> None:
+        """Raise unless every post-baseline charge is booked to a tenant.
+
+        This is the provable-sum property the multi-tenant bench asserts:
+        ``sum(charges().values()) == counter.unique_nodes - baseline``.
+        """
+        leak = self.unattributed()
+        if leak:
+            raise ConfigurationError(
+                f"{leak} unique-node charges escaped tenant attribution "
+                f"(attributed {self.total_attributed()}, counter at "
+                f"{self.counter.unique_nodes}, baseline {self.baseline})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantLedger(tenants={len(self._charges)}, "
+            f"attributed={self.total_attributed()}, "
+            f"unattributed={self.unattributed()})"
+        )
 
 
 class QueryBudget:

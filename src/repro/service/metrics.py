@@ -1,0 +1,179 @@
+"""Service observability: counters, gauges, latency stats, monitor samples.
+
+Deliberately dependency-free and synchronous — every instrument is a plain
+Python object mutated from the service's single event loop, so reads never
+race writes and a metrics snapshot is an ordinary dict.  Time, where it
+appears, is the service's :class:`~repro.crawl.clock.FakeClock` virtual
+time (or whatever clock the service runs on), never the wall — metrics are
+part of the deterministic replay, not an exception to it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Counter:
+    """Monotone event count."""
+
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value, with a high-water mark."""
+
+    value: float = 0.0
+    high_water: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+        self.high_water = max(self.high_water, self.value)
+
+
+@dataclass
+class LatencyStat:
+    """Running moments of a duration distribution (O(1) memory)."""
+
+    count: int = 0
+    total: float = 0.0
+    _sum_sq: float = 0.0
+    max: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration (simulated seconds)."""
+        if seconds < 0:
+            raise ValueError(f"durations must be >= 0, got {seconds}")
+        self.count += 1
+        self.total += seconds
+        self._sum_sq += seconds * seconds
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        """Mean duration; 0.0 before any observation."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation; 0.0 before two observations."""
+        if self.count < 2:
+            return 0.0
+        variance = self._sum_sq / self.count - self.mean**2
+        return math.sqrt(max(0.0, variance))
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One periodic reading taken by the background monitor worker."""
+
+    clock_seconds: float
+    queue_depth: int
+    running_jobs: int
+    query_cost: int
+    raw_calls: int
+    cache_hit_rate: float
+    published_epochs: int
+
+
+class ServiceMetrics:
+    """The serving layer's instrument panel.
+
+    Counters cover the job lifecycle and the epoch machinery; gauges track
+    the levels admission control acts on; latency stats time what tenants
+    feel (submission → first partial, whole-job turnaround) and what the
+    operator tunes (crawl chunk and walk round durations).  The monitor
+    worker appends a :class:`MonitorSample` per tick to :attr:`samples`.
+    """
+
+    def __init__(self) -> None:
+        self.jobs_submitted = Counter()
+        self.jobs_rejected = Counter()
+        self.jobs_completed = Counter()
+        self.jobs_preempted = Counter()
+        self.jobs_failed = Counter()
+        self.jobs_cancelled = Counter()
+        self.rounds = Counter()
+        self.partials_streamed = Counter()
+        self.epochs_published = Counter()
+        self.crawl_rows = Counter()
+        self.queue_depth = Gauge()
+        self.running_jobs = Gauge()
+        self.cache_hit_rate = Gauge()
+        self.first_partial_latency = LatencyStat()
+        self.job_turnaround = LatencyStat()
+        self.crawl_seconds = LatencyStat()
+        self.round_seconds = LatencyStat()
+        self.samples: List[MonitorSample] = []
+
+    def record_cache_rate(self, unique_nodes: int, raw_calls: int) -> None:
+        """Update the cache-hit gauge from the global counter's totals.
+
+        A "hit" is a raw API invocation answered from the discovered
+        store for free — §2.4's repeat lookup — so the rate is
+        ``(raw - unique) / raw``.
+        """
+        rate = (raw_calls - unique_nodes) / raw_calls if raw_calls else 0.0
+        self.cache_hit_rate.set(rate)
+
+    def observe_monitor(
+        self,
+        clock_seconds: float,
+        queue_depth: int,
+        running_jobs: int,
+        query_cost: int,
+        raw_calls: int,
+        published_epochs: int,
+    ) -> Optional[MonitorSample]:
+        """Record one monitor tick (updates gauges, appends a sample)."""
+        self.queue_depth.set(queue_depth)
+        self.running_jobs.set(running_jobs)
+        self.record_cache_rate(query_cost, raw_calls)
+        sample = MonitorSample(
+            clock_seconds=clock_seconds,
+            queue_depth=queue_depth,
+            running_jobs=running_jobs,
+            query_cost=query_cost,
+            raw_calls=raw_calls,
+            cache_hit_rate=self.cache_hit_rate.value,
+            published_epochs=published_epochs,
+        )
+        self.samples.append(sample)
+        return sample
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat JSON-safe view of every instrument (bench/adapter output)."""
+        return {
+            "jobs_submitted": self.jobs_submitted.value,
+            "jobs_rejected": self.jobs_rejected.value,
+            "jobs_completed": self.jobs_completed.value,
+            "jobs_preempted": self.jobs_preempted.value,
+            "jobs_failed": self.jobs_failed.value,
+            "jobs_cancelled": self.jobs_cancelled.value,
+            "rounds": self.rounds.value,
+            "partials_streamed": self.partials_streamed.value,
+            "epochs_published": self.epochs_published.value,
+            "crawl_rows": self.crawl_rows.value,
+            "queue_depth": self.queue_depth.value,
+            "queue_depth_high_water": self.queue_depth.high_water,
+            "running_jobs": self.running_jobs.value,
+            "running_jobs_high_water": self.running_jobs.high_water,
+            "cache_hit_rate": self.cache_hit_rate.value,
+            "first_partial_latency_mean": self.first_partial_latency.mean,
+            "first_partial_latency_max": self.first_partial_latency.max,
+            "job_turnaround_mean": self.job_turnaround.mean,
+            "job_turnaround_max": self.job_turnaround.max,
+            "crawl_seconds_mean": self.crawl_seconds.mean,
+            "round_seconds_mean": self.round_seconds.mean,
+            "monitor_samples": len(self.samples),
+        }

@@ -54,6 +54,7 @@ from __future__ import annotations
 import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import multiprocessing
@@ -188,6 +189,24 @@ def default_worker_count() -> int:
         return os.cpu_count() or 1
 
 
+@dataclass(frozen=True)
+class RoundEvent:
+    """One fan-out dispatched by a :class:`ShardedWalkEngine`.
+
+    Delivered to round hooks (:meth:`ShardedWalkEngine.add_round_hook`)
+    synchronously, just before the round's tasks are submitted — the
+    observation point schedulers and metrics layers (the serving layer's
+    gauges) attach to without wrapping every front end.
+    """
+
+    #: 1-based ordinal of this round within the engine's lifetime.
+    round_index: int
+    #: Number of shard tasks the round fans out.
+    shards: int
+    #: Backing segment of the topology the round is pinned to.
+    segment: str
+
+
 class ShardedWalkEngine:
     """Persistent multiprocess fan-out for the batch-walk front ends.
 
@@ -245,6 +264,8 @@ class ShardedWalkEngine:
             initializer=_worker_init,
             initargs=(self._shared.spec,),
         )
+        self._round_hooks: List[Callable[[RoundEvent], None]] = []
+        self._rounds_dispatched = 0
 
     @classmethod
     def from_shared(
@@ -301,6 +322,33 @@ class ShardedWalkEngine:
         return self._pool is None
 
     # ------------------------------------------------------------------
+    # Round scheduling hooks
+    # ------------------------------------------------------------------
+    @property
+    def rounds_dispatched(self) -> int:
+        """Fan-out rounds this engine has dispatched over its lifetime."""
+        return self._rounds_dispatched
+
+    def add_round_hook(self, hook: Callable[[RoundEvent], None]) -> None:
+        """Subscribe *hook* to every subsequent round dispatch.
+
+        Hooks fire synchronously in :meth:`map_shards`, in registration
+        order, *before* the round's tasks are submitted — deterministic
+        relative to the round's work.  A hook must not raise: an exception
+        aborts the round before any task is scheduled.
+        """
+        if not callable(hook):
+            raise ConfigurationError("round hook must be callable")
+        self._round_hooks.append(hook)
+
+    def remove_round_hook(self, hook: Callable[[RoundEvent], None]) -> None:
+        """Unsubscribe *hook*; unknown hooks raise."""
+        try:
+            self._round_hooks.remove(hook)
+        except ValueError:
+            raise ConfigurationError("round hook is not registered") from None
+
+    # ------------------------------------------------------------------
     # Sharding machinery
     # ------------------------------------------------------------------
     def shard_slices(self, k: int) -> List[slice]:
@@ -344,6 +392,15 @@ class ShardedWalkEngine:
         if self._pool is None:
             raise ConfigurationError("engine is closed")
         spec = self._shared.spec
+        self._rounds_dispatched += 1
+        if self._round_hooks:
+            event = RoundEvent(
+                round_index=self._rounds_dispatched,
+                shards=len(per_shard_args),
+                segment=spec.segment,
+            )
+            for hook in list(self._round_hooks):
+                hook(event)
         futures = [
             self._pool.submit(_run_shard, spec, fn, args) for args in per_shard_args
         ]

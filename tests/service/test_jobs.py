@@ -1,0 +1,159 @@
+"""Job lifecycle: accumulation, streaming, handles, resolution."""
+
+import numpy as np
+import pytest
+
+from repro.core import EstimationJobSpec
+from repro.crawl.clock import FakeClock, drive
+from repro.errors import ConfigurationError
+from repro.service import Job, JobResult, JobState, PartialEstimate
+
+
+def make_job(job_id="job-1", **spec_kwargs) -> Job:
+    spec_kwargs.setdefault("design", "srw")
+    spec_kwargs.setdefault("tenant", "alice")
+    return Job(job_id, EstimationJobSpec(**spec_kwargs), np.random.default_rng(1))
+
+
+def make_result(job, state=JobState.COMPLETED, **overrides) -> JobResult:
+    fields = dict(
+        job_id=job.job_id,
+        tenant=job.tenant,
+        state=state,
+        estimate=1.0,
+        stderr=0.1,
+        samples=job.samples,
+        rounds=job.rounds,
+        query_cost=0,
+        met_target=True,
+        reason="error-target",
+        clock_seconds=0.0,
+    )
+    fields.update(overrides)
+    return JobResult(**fields)
+
+
+def make_partial(job, round_index=1) -> PartialEstimate:
+    return PartialEstimate(
+        job_id=job.job_id,
+        tenant=job.tenant,
+        round_index=round_index,
+        epoch=1,
+        estimate=2.0,
+        stderr=0.5,
+        samples=job.samples,
+        query_cost=0,
+        clock_seconds=0.0,
+    )
+
+
+class TestStates:
+    def test_terminal_partition(self):
+        live = {JobState.PENDING, JobState.RUNNING}
+        for state in JobState:
+            assert state.terminal == (state not in live)
+
+
+class TestAccumulation:
+    def test_empty_job_has_no_estimate(self):
+        job = make_job()
+        est, stderr = job.current_estimate()
+        assert np.isnan(est)
+        assert stderr == float("inf")
+
+    def test_uniform_weights_give_plain_mean(self):
+        job = make_job()
+        job.absorb(np.array([2.0, 4.0, 6.0]), np.ones(3))
+        est, stderr = job.current_estimate()
+        assert est == pytest.approx(4.0)
+        # sqrt(sum((x - mean)^2)) / n for unit weights.
+        assert stderr == pytest.approx(np.sqrt(8.0) / 3.0)
+
+    def test_rounds_accumulate(self):
+        job = make_job()
+        job.absorb(np.array([1.0, 3.0]), np.ones(2))
+        job.absorb(np.array([5.0]), np.ones(1))
+        assert job.samples == 3
+        est, _ = job.current_estimate()
+        assert est == pytest.approx(3.0)
+
+    def test_importance_weighting(self):
+        job = make_job()
+        job.absorb(np.array([10.0, 2.0]), np.array([3.0, 1.0]))
+        est, _ = job.current_estimate()
+        assert est == pytest.approx((30.0 + 2.0) / 4.0)
+
+    def test_empty_round_is_a_noop(self):
+        job = make_job()
+        job.absorb(np.array([]), np.array([]))
+        assert job.samples == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="mismatch"):
+            make_job().absorb(np.ones(2), np.ones(3))
+
+
+class TestTargetMet:
+    def test_no_target_never_met(self):
+        job = make_job(error_target=None)
+        job.absorb(np.full(100, 5.0), np.ones(100))
+        assert not job.target_met(min_samples=1)
+
+    def test_min_samples_gate(self):
+        job = make_job(error_target=1.0)
+        job.absorb(np.array([5.0, 5.0]), np.ones(2))
+        assert not job.target_met(min_samples=8)
+        assert job.target_met(min_samples=2)
+
+    def test_target_comparison(self):
+        job = make_job(error_target=0.01)
+        job.absorb(np.array([1.0, 9.0] * 10), np.ones(20))
+        assert not job.target_met(min_samples=1)
+
+
+class TestResolution:
+    def test_resolve_sets_state_and_wakes_waiters(self):
+        job = make_job()
+        job.state = JobState.RUNNING
+        job.resolve(make_result(job))
+        assert job.state is JobState.COMPLETED
+        assert job.result.met_target
+
+    def test_double_resolve_rejected(self):
+        job = make_job()
+        job.resolve(make_result(job))
+        with pytest.raises(ConfigurationError, match="already resolved"):
+            job.resolve(make_result(job))
+
+    def test_non_terminal_resolution_rejected(self):
+        job = make_job()
+        with pytest.raises(ConfigurationError, match="non-terminal"):
+            job.resolve(make_result(job, state=JobState.RUNNING))
+
+
+class TestHandle:
+    def test_stream_yields_until_sentinel(self):
+        clock = FakeClock()
+
+        async def scenario():
+            job = make_job()
+            handle = job.handle()
+            job.push_partial(make_partial(job, 1))
+            job.push_partial(make_partial(job, 2))
+            job.resolve(make_result(job))
+            seen = [p.round_index async for p in handle.stream()]
+            result = await handle.result()
+            return seen, result
+
+        seen, result = drive(clock, scenario())
+        assert seen == [1, 2]
+        assert result.state is JobState.COMPLETED
+
+    def test_handle_views(self):
+        job = make_job()
+        handle = job.handle()
+        assert handle.job_id == "job-1"
+        assert handle.tenant == "alice"
+        assert handle.state is JobState.PENDING
+        job.push_partial(make_partial(job))
+        assert len(handle.partials) == 1

@@ -1,0 +1,154 @@
+"""Admission control, budget views, and crawl-driver rotation."""
+
+import numpy as np
+import pytest
+
+from repro.core import EstimationJobSpec
+from repro.crawl.clock import FakeClock, drive
+from repro.errors import AdmissionError, ConfigurationError
+from repro.osn.accounting import QueryCounter, TenantLedger
+from repro.service import Job, JobScheduler
+
+
+def make_job(job_id, tenant="alice", budget=None) -> Job:
+    spec = EstimationJobSpec(design="srw", tenant=tenant, query_budget=budget)
+    return Job(job_id, spec, np.random.default_rng(0))
+
+
+@pytest.fixture()
+def ledger():
+    return TenantLedger(QueryCounter())
+
+
+@pytest.fixture()
+def scheduler(ledger):
+    return JobScheduler(ledger, max_pending=3, max_running=2)
+
+
+class TestBackpressure:
+    def test_offer_raises_when_full(self, scheduler):
+        for i in range(3):
+            scheduler.offer(make_job(f"j{i}"))
+        with pytest.raises(AdmissionError, match="full"):
+            scheduler.offer(make_job("j3"))
+
+    def test_wait_for_space_wakes_on_admit(self, scheduler):
+        clock = FakeClock()
+
+        async def scenario():
+            for i in range(3):
+                scheduler.offer(make_job(f"j{i}"))
+            await scheduler.wait_for_space()  # parks until admit() drains
+            scheduler.offer(make_job("late"))
+            return [j.job_id for j in scheduler.pending]
+
+        async def main():
+            import asyncio
+
+            waiter = asyncio.ensure_future(scenario())
+            await asyncio.sleep(0)
+            scheduler.admit()
+            return await waiter
+
+        pending = drive(clock, main())
+        # Two admitted to running, one left pending, then the late job.
+        assert pending == ["j2", "late"]
+
+    def test_bounds_validated(self, ledger):
+        with pytest.raises(ConfigurationError, match="max_pending"):
+            JobScheduler(ledger, max_pending=0)
+        with pytest.raises(ConfigurationError, match="max_running"):
+            JobScheduler(ledger, max_running=0)
+
+
+class TestAdmission:
+    def test_fifo_up_to_cap(self, scheduler):
+        jobs = [make_job(f"j{i}") for i in range(3)]
+        for job in jobs:
+            scheduler.offer(job)
+        promoted = scheduler.admit()
+        assert [j.job_id for j in promoted] == ["j0", "j1"]
+        assert scheduler.queue_depth == 1
+        assert scheduler.admit() == []  # cap reached
+
+    def test_retire_opens_a_slot(self, scheduler):
+        jobs = [make_job(f"j{i}") for i in range(3)]
+        for job in jobs:
+            scheduler.offer(job)
+        scheduler.admit()
+        scheduler.retire(jobs[0])
+        assert [j.job_id for j in scheduler.admit()] == ["j2"]
+        assert not scheduler.has_work or scheduler.running
+
+    def test_retire_unknown_job_rejected(self, scheduler):
+        with pytest.raises(ConfigurationError, match="not in the running set"):
+            scheduler.retire(make_job("ghost"))
+
+
+class TestBudgets:
+    def test_min_across_live_jobs(self, scheduler):
+        scheduler.offer(make_job("a1", tenant="alice", budget=100))
+        scheduler.offer(make_job("a2", tenant="alice", budget=60))
+        scheduler.admit()
+        assert scheduler.tenant_limit("alice") == 60
+        assert scheduler.budgets() == {"alice": 60}
+
+    def test_undeclared_budget_is_unlimited(self, scheduler):
+        scheduler.offer(make_job("a1", tenant="alice"))
+        assert scheduler.tenant_limit("alice") is None
+        assert scheduler.tenant_remaining("alice") is None
+
+    def test_remaining_reads_ledger(self, scheduler, ledger):
+        scheduler.offer(make_job("a1", tenant="alice", budget=10))
+        with ledger.attribute("alice"):
+            for node in range(7):
+                ledger.counter.charge(node)
+        assert scheduler.tenant_remaining("alice") == 3
+        with ledger.attribute("alice"):
+            for node in range(7, 20):
+                ledger.counter.charge(node)
+        assert scheduler.tenant_remaining("alice") == 0  # clamped
+
+
+class TestDriverRotation:
+    def test_round_robin(self, scheduler):
+        a = make_job("a", tenant="alice", budget=100)
+        b = make_job("b", tenant="bob", budget=100)
+        scheduler.offer(a)
+        scheduler.offer(b)
+        scheduler.admit()
+        picks = [scheduler.next_driver().job_id for _ in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_skips_exhausted_tenants(self, scheduler, ledger):
+        a = make_job("a", tenant="alice", budget=5)
+        b = make_job("b", tenant="bob", budget=100)
+        scheduler.offer(a)
+        scheduler.offer(b)
+        scheduler.admit()
+        with ledger.attribute("alice"):
+            for node in range(5):
+                ledger.counter.charge(node)
+        picks = [scheduler.next_driver().job_id for _ in range(3)]
+        assert picks == ["b", "b", "b"]
+
+    def test_none_when_nobody_can_pay(self, scheduler, ledger):
+        a = make_job("a", tenant="alice", budget=0)
+        scheduler.offer(a)
+        scheduler.admit()
+        assert scheduler.next_driver() is None
+
+    def test_none_when_idle(self, scheduler):
+        assert scheduler.next_driver() is None
+
+    def test_retire_keeps_rotation_fair(self, scheduler):
+        a = make_job("a", tenant="alice")
+        b = make_job("b", tenant="bob")
+        scheduler.offer(a)
+        scheduler.offer(b)
+        scheduler.admit()
+        assert scheduler.next_driver() is a
+        scheduler.retire(a)
+        # Cursor re-anchors on the surviving job without skipping it.
+        assert scheduler.next_driver() is b
+        assert scheduler.next_driver() is b

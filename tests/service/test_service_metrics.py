@@ -1,0 +1,87 @@
+"""Service instruments: counters, gauges, latency stats, monitor samples."""
+
+import pytest
+
+from repro.service import Counter, Gauge, LatencyStat, ServiceMetrics
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_tracks_high_water(self):
+        g = Gauge()
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.high_water == 7
+
+
+class TestLatencyStat:
+    def test_moments(self):
+        stat = LatencyStat()
+        for v in (1.0, 2.0, 3.0):
+            stat.observe(v)
+        assert stat.count == 3
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.max == 3.0
+        assert stat.stddev == pytest.approx((2.0 / 3.0) ** 0.5)
+
+    def test_empty_is_zero(self):
+        stat = LatencyStat()
+        assert stat.mean == 0.0
+        assert stat.stddev == 0.0
+
+    def test_single_observation_has_no_spread(self):
+        stat = LatencyStat()
+        stat.observe(5.0)
+        assert stat.stddev == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            LatencyStat().observe(-0.1)
+
+
+class TestServiceMetrics:
+    def test_cache_rate(self):
+        m = ServiceMetrics()
+        m.record_cache_rate(unique_nodes=30, raw_calls=120)
+        assert m.cache_hit_rate.value == pytest.approx(0.75)
+        m.record_cache_rate(0, 0)
+        assert m.cache_hit_rate.value == 0.0
+
+    def test_monitor_sample_appends(self):
+        m = ServiceMetrics()
+        sample = m.observe_monitor(
+            clock_seconds=4.0,
+            queue_depth=2,
+            running_jobs=3,
+            query_cost=10,
+            raw_calls=40,
+            published_epochs=1,
+        )
+        assert m.samples == [sample]
+        assert sample.cache_hit_rate == pytest.approx(0.75)
+        assert m.queue_depth.value == 2
+        assert m.running_jobs.high_water == 3
+
+    def test_snapshot_is_flat_and_json_safe(self):
+        import json
+
+        m = ServiceMetrics()
+        m.jobs_submitted.inc(2)
+        m.first_partial_latency.observe(1.5)
+        snap = m.snapshot()
+        assert snap["jobs_submitted"] == 2
+        assert snap["first_partial_latency_mean"] == 1.5
+        json.dumps(snap)  # must not raise

@@ -69,3 +69,90 @@ def test_build_parser_round_trips_run_options(tmp_path):
     assert args.experiment == "figure1"
     assert args.seed == 3
     assert str(args.csv) == "x.csv"
+
+
+JOB_DOC = """
+{
+  "design": {"name": "mhrw"},
+  "samples": 10,
+  "start": 0,
+  "tenant": "cli",
+  "seed": 11,
+  "walk": {"walk_length": 5, "crawl_hops": 0, "backward_repetitions": 3,
+           "refine_repetitions": 0, "calibration_walks": 4},
+  "engine": {"backend": "batch"}
+}
+"""
+
+
+def _write_job(tmp_path, **engine):
+    import json
+
+    doc = json.loads(JOB_DOC)
+    if engine:
+        doc["engine"] = engine
+    path = tmp_path / "job.json"
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return path
+
+
+def test_estimate_from_job_file(tmp_path, capsys):
+    path = _write_job(tmp_path)
+    assert cli.main(["estimate", "--job", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "ba_synthetic" in out
+    assert "estimate" in out
+    assert "10/10" in out
+
+
+def test_estimate_json_output_round_trips(tmp_path, capsys):
+    import json
+
+    path = _write_job(tmp_path)
+    assert cli.main(["estimate", "--job", str(path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["accepted"] == 10
+    assert report["spec"]["engine"]["backend"] == "batch"
+    assert report["query_cost"] == 0  # batch walks the known graph for free
+
+
+def test_estimate_from_stdin(tmp_path, monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr(sys, "stdin", io.StringIO(JOB_DOC))
+    assert cli.main(["estimate", "--job", "-"]) == 0
+    assert "estimate" in capsys.readouterr().out
+
+
+def test_estimate_is_deterministic_per_seed(tmp_path, capsys):
+    import json
+
+    path = _write_job(tmp_path)
+
+    def run(seed):
+        assert (
+            cli.main(["estimate", "--job", str(path), "--json", "--seed", seed])
+            == 0
+        )
+        return json.loads(capsys.readouterr().out)["estimate"]
+
+    assert run("3") == run("3")
+    assert run("3") != run("4")
+
+
+def test_estimate_scalar_backend_charges_queries(tmp_path, capsys):
+    import json
+
+    path = _write_job(tmp_path, backend="scalar")
+    assert cli.main(["estimate", "--job", str(path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["query_cost"] > 0  # scalar front end pays per unique node
+
+
+def test_estimate_rejects_malformed_spec(tmp_path):
+    from repro.errors import ConfigurationError
+
+    path = tmp_path / "bad.json"
+    path.write_text('{"design": "no-such-walk"}', encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="unknown design"):
+        cli.main(["estimate", "--job", str(path)])
