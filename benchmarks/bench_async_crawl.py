@@ -25,11 +25,11 @@ queries.
 """
 
 import argparse
-import json
 import time
 
 import numpy as np
 
+from repro.bench import write_artifact
 from repro.core.config import CrawlPipelineConfig
 from repro.crawl import AsyncCrawler, CrawlWalkPipeline, FakeClock, TopologyPublisher
 from repro.graphs.generators import barabasi_albert_graph
@@ -241,8 +241,7 @@ def main(argv=None) -> None:
         concurrencies=tuple(args.concurrency),
         seed=args.seed,
     )
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2)
+    write_artifact(record, args.out, scale="smoke" if args.quick else "full")
     serial = record["serial"]
     print(
         f"serial crawl-then-walk: {serial['simulated_seconds']:.1f} sim-s "

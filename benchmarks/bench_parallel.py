@@ -23,13 +23,13 @@ sweep (CI smoke uses ``--workers 1 2``).
 """
 
 import argparse
-import json
 import os
 import time
 
 import numpy as np
 import pytest
 
+from repro.bench import write_artifact
 from repro.graphs.generators import barabasi_albert_graph
 from repro.rng import ensure_rng
 from repro.walks.batch import run_walk_batch
@@ -204,8 +204,7 @@ def main(argv=None) -> None:
         workers=tuple(args.workers),
         seed=args.seed,
     )
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2)
+    write_artifact(record, args.out, scale="smoke" if args.quick else "full")
     print(f"host cpus: {record['host']['cpu_count']}")
     for name, entry in record["designs"].items():
         print(

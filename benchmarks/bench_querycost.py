@@ -22,11 +22,11 @@ runs.
 """
 
 import argparse
-import json
 import time
 
 import numpy as np
 
+from repro.bench import write_artifact
 from repro.core.config import WalkEstimateConfig
 from repro.core.walk_estimate import we_crawl_sampler, we_full_sampler, we_none_sampler
 from repro.core.weighted import ForwardHistory, weighted_backward_estimate, ws_bw_batch
@@ -192,8 +192,7 @@ def main(argv=None) -> None:
         seed=args.seed,
         rounds=args.rounds,
     )
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2)
+    write_artifact(record, args.out, scale="smoke" if args.quick else "full")
     for name, variants in record["samplers"].items():
         print(f"{name}: queries per sample")
         for variant, entry in variants.items():

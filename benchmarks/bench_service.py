@@ -24,9 +24,9 @@ reproducible bit for bit.
 """
 
 import argparse
-import json
 import time
 
+from repro.bench import write_artifact
 from repro.core import EngineConfig, EstimationJobSpec, WalkEstimateConfig
 from repro.graphs.generators import barabasi_albert_graph
 from repro.osn.api import SocialNetworkAPI
@@ -280,8 +280,7 @@ def main(argv=None) -> None:
         rows_per_epoch=args.rows_per_epoch,
         seed=args.seed,
     )
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2)
+    write_artifact(record, args.out, scale="smoke" if args.quick else "full")
     for n, sweep in record["sweep"].items():
         shared, isolated = sweep["shared"], sweep["isolated"]
         print(

@@ -15,12 +15,12 @@ Two modes share this file:
 """
 
 import argparse
-import json
 import time
 
 import numpy as np
 import pytest
 
+from repro.bench import write_artifact
 from repro.core.config import WalkEstimateConfig
 from repro.core.crawl import InitialCrawl
 from repro.core.unbiased import unbiased_estimate_batch
@@ -245,8 +245,7 @@ def main(argv=None) -> None:
         widths=tuple(args.widths),
         seed=args.seed,
     )
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2)
+    write_artifact(record, args.out, scale="smoke" if args.quick else "full")
     for name, entry in record["designs"].items():
         scalar = entry["scalar"]["steps_per_sec"]
         print(f"{name}: scalar {scalar:,.0f} steps/sec")

@@ -3,19 +3,16 @@
 The rendered experiment tables produced during the benchmarks are emitted
 in the terminal summary (hook output bypasses pytest's capture), so a plain
 ``pytest benchmarks/ --benchmark-only`` run — teed to ``bench_output.txt``
-— doubles as the measured-results record EXPERIMENTS.md references.
+— doubles as the measured-results record EXPERIMENTS.md references.  With
+capture disabled (``-s``) the tables already appeared live, so the hook
+skips them — each result is reported exactly once either way.
 """
 
 from benchmarks import support
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not support.RENDERED_RESULTS:
-        return
-    terminalreporter.write_line("")
-    terminalreporter.write_line("=" * 74)
-    terminalreporter.write_line("Measured experiment results (quick scale)")
-    terminalreporter.write_line("=" * 74)
-    for text in support.RENDERED_RESULTS:
-        terminalreporter.write_line("")
-        terminalreporter.write_line(text)
+    support.emit_terminal_summary(
+        terminalreporter.write_line,
+        already_shown_live=config.getoption("capture") == "no",
+    )

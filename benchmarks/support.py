@@ -5,11 +5,17 @@ Each benchmark regenerates one paper artifact (figure/table) at the
 series for the terminal summary (see ``conftest.py``) — so a plain
 ``pytest benchmarks/ --benchmark-only`` run leaves a complete
 measured-results record (the one EXPERIMENTS.md references).
+
+Each rendered result is reported **exactly once per run**: under normal
+captured runs the live ``print`` is swallowed by pytest, so the
+terminal-summary hook emits the block; under ``pytest -s`` (capture
+disabled) the live prints are already visible, so the hook stays silent
+instead of duplicating every report.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List
 
 from repro.experiments.registry import run_experiment
 from repro.experiments.reporting import render_result
@@ -30,5 +36,27 @@ def run_and_render(benchmark, experiment_id: str, seed: int = 3) -> ExperimentRe
     )
     rendered = render_result(result)
     RENDERED_RESULTS.append(rendered)
-    print(rendered)  # visible live under -s; summary hook covers plain runs
+    print(rendered)  # live view; invisible unless capture is disabled (-s)
     return result
+
+
+def emit_terminal_summary(
+    write_line: Callable[[str], None], *, already_shown_live: bool
+) -> bool:
+    """Write the rendered-results block once; return whether it was written.
+
+    *already_shown_live* is True when pytest ran with capture disabled
+    (``-s`` / ``--capture=no``): the live prints in
+    :func:`run_and_render` already reached the terminal, so re-printing
+    from the summary hook would duplicate every report.
+    """
+    if not RENDERED_RESULTS or already_shown_live:
+        return False
+    write_line("")
+    write_line("=" * 74)
+    write_line("Measured experiment results (quick scale)")
+    write_line("=" * 74)
+    for text in RENDERED_RESULTS:
+        write_line("")
+        write_line(text)
+    return True

@@ -1,0 +1,87 @@
+"""``repro.bench`` — the regression-gating benchmark subsystem.
+
+Four pieces, one workflow (ROADMAP open item 5):
+
+* **Schema** (:mod:`repro.bench.schema`): every bench writer emits one
+  normalized envelope — ``schema_version``, host metadata, a scale tag,
+  and a flat ``metrics`` map — through :func:`write_artifact`, which
+  also gives every artifact the same atomic write-temp-then-rename
+  discipline (:mod:`repro.bench.io`).
+* **Runner** (:mod:`repro.bench.runner`): ``python -m repro.bench run
+  --suite smoke`` executes the whole suite at pinned scales through one
+  entry point.
+* **Checker** (:mod:`repro.bench.diff` + :mod:`repro.bench.policy`):
+  ``python -m repro.bench check`` diffs fresh artifacts against the
+  committed ``BENCH_*.json`` baselines — deterministic metrics exactly,
+  timing metrics within a tolerance band, with host-mismatch downgrading
+  timing failures to warnings — and exits non-zero on regression.
+* **Trajectory** (:mod:`repro.bench.trajectory`): ``python -m repro.bench
+  append`` folds each run into ``BENCH_TRAJECTORY.json``, the per-PR
+  time series.
+"""
+
+from repro.bench.diff import (
+    ArtifactReport,
+    CheckReport,
+    MetricDiff,
+    check_directories,
+    compare_envelopes,
+)
+from repro.bench.io import atomic_write_json, load_json
+from repro.bench.policy import (
+    CheckPolicy,
+    Direction,
+    MetricKind,
+    TimingMode,
+    classify,
+    timing_regression,
+)
+from repro.bench.runner import (
+    SUITES,
+    BenchJob,
+    BenchRunError,
+    run_suite,
+    suite_artifacts,
+)
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    Envelope,
+    flatten_metrics,
+    host_metadata,
+    hosts_match,
+    load_artifact,
+    make_envelope,
+    write_artifact,
+)
+from repro.bench.trajectory import append_run, load_trajectory
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUITES",
+    "ArtifactReport",
+    "BenchJob",
+    "BenchRunError",
+    "CheckPolicy",
+    "CheckReport",
+    "Direction",
+    "Envelope",
+    "MetricDiff",
+    "MetricKind",
+    "TimingMode",
+    "append_run",
+    "atomic_write_json",
+    "check_directories",
+    "classify",
+    "compare_envelopes",
+    "flatten_metrics",
+    "host_metadata",
+    "hosts_match",
+    "load_artifact",
+    "load_json",
+    "load_trajectory",
+    "make_envelope",
+    "run_suite",
+    "suite_artifacts",
+    "timing_regression",
+    "write_artifact",
+]

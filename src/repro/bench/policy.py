@@ -1,0 +1,94 @@
+"""Per-metric regression policy: what diffs exactly, what gets a band.
+
+The split mirrors what the paper measures.  *Deterministic* metrics —
+query cost, unique-node counts, simulated :class:`FakeClock` wall-clock,
+ledger balances, sample counts, estimates — are functions of the pinned
+seeds alone, so the checker compares them **exactly**: any drift is a
+behavior change, not noise.  *Timing* metrics — steps/sec, walks/sec,
+real (process) seconds, and the speedup ratios derived from them — are
+functions of the machine, so they gate within a configurable tolerance
+band and only when the hosts are actually comparable.
+
+Classification is by key, not by benchmark: the flat dotted metric keys
+the envelope schema produces carry their own kind in the last segment
+(``*_per_sec``, ``*seconds``, ``speedup*`` are timing; ``simulated_*``
+is explicitly carved back out as deterministic).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MetricKind(enum.Enum):
+    """How one metric is compared against its baseline."""
+
+    EXACT = "exact"
+    TIMING = "timing"
+
+
+class Direction(enum.Enum):
+    """Which way a timing metric regresses."""
+
+    HIGHER_IS_BETTER = "higher"
+    LOWER_IS_BETTER = "lower"
+    NONE = "none"
+
+
+class TimingMode(enum.Enum):
+    """What a timing regression beyond tolerance does to the exit code."""
+
+    GATE = "gate"  # fail the check (hosts must also match)
+    WARN = "warn"  # report, never fail — for shared/noisy runners
+
+
+def classify(key: str) -> tuple[MetricKind, Direction]:
+    """Classify one flat metric key.
+
+    ``designs.srw.batch.1024.steps_per_sec`` → timing, higher is better;
+    ``ws_bw_batch.srw.scalar_seconds`` → timing, lower is better;
+    ``serial.simulated_seconds`` / ``query_cost`` / counts → exact.
+    """
+    last = key.rsplit(".", 1)[-1]
+    if "per_sec" in last or "speedup" in last:
+        return MetricKind.TIMING, Direction.HIGHER_IS_BETTER
+    if last.endswith("seconds") and "simulated" not in last:
+        return MetricKind.TIMING, Direction.LOWER_IS_BETTER
+    return MetricKind.EXACT, Direction.NONE
+
+
+@dataclass(frozen=True)
+class CheckPolicy:
+    """Knobs for one check run.
+
+    ``tolerance`` is the allowed relative regression of a timing metric
+    (0.20 ⇒ a ≥20% steps/sec drop fails).  ``timing_mode`` decides
+    whether an out-of-band timing metric fails the run or only warns;
+    deterministic metrics always fail on any drift, regardless of mode
+    or host.  Timing failures additionally require matching hosts —
+    mismatched hosts downgrade them to warnings unconditionally.
+    """
+
+    tolerance: float = 0.20
+    timing_mode: TimingMode = TimingMode.GATE
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tolerance:
+            raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
+
+
+def timing_regression(
+    baseline: float, current: float, direction: Direction
+) -> float:
+    """Relative regression magnitude (positive = worse, negative = better).
+
+    A higher-is-better metric regresses when it drops; a lower-is-better
+    one when it grows.  A non-positive baseline carries no information —
+    the regression is reported as 0.0 (nothing to gate against).
+    """
+    if baseline <= 0:
+        return 0.0
+    if direction is Direction.HIGHER_IS_BETTER:
+        return (baseline - current) / baseline
+    return (current - baseline) / baseline

@@ -1,0 +1,157 @@
+"""One entry point for the whole benchmark suite, at pinned scales.
+
+``python -m repro.bench run --suite smoke --out bench_results/`` replaces
+five ad-hoc CLI invocations: each :class:`BenchJob` names a writer script
+under ``benchmarks/``, the pinned arguments for the suite's scale, and
+the artifact it must produce.  Writers run as subprocesses (they already
+are CLIs, and the sharded benchmarks spawn worker pools that want a
+clean interpreter) with ``repro``'s own source tree prepended to
+``PYTHONPATH`` so the child can import the envelope schema regardless of
+how the parent was launched.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro
+from repro.bench.io import PathLike
+
+
+class BenchRunError(RuntimeError):
+    """At least one benchmark writer failed (exit code or missing output)."""
+
+
+@dataclass(frozen=True)
+class BenchJob:
+    """One benchmark writer invocation inside a suite."""
+
+    name: str
+    script: str
+    artifact: str
+    argv: Tuple[str, ...] = ()
+
+
+def _suite(*jobs: BenchJob) -> Tuple[BenchJob, ...]:
+    return jobs
+
+
+#: The pinned suites.  ``smoke`` mirrors the CI budget (tiny workloads,
+#: deterministic seeds) — it is the scale the committed baselines are
+#: recorded at.  ``full`` is each writer's paper-scale default.
+SUITES: Dict[str, Tuple[BenchJob, ...]] = {
+    "smoke": _suite(
+        BenchJob(
+            "throughput",
+            "bench_throughput.py",
+            "BENCH_throughput.json",
+            ("--quick",),
+        ),
+        BenchJob(
+            "querycost",
+            "bench_querycost.py",
+            "BENCH_querycost.json",
+            ("--quick",),
+        ),
+        BenchJob(
+            "parallel",
+            "bench_parallel.py",
+            "BENCH_parallel.json",
+            ("--quick", "--workers", "1", "2"),
+        ),
+        BenchJob(
+            "asynccrawl",
+            "bench_async_crawl.py",
+            "BENCH_asynccrawl.json",
+            ("--quick", "--concurrency", "1", "4"),
+        ),
+        BenchJob(
+            "service",
+            "bench_service.py",
+            "BENCH_service.json",
+            ("--quick",),
+        ),
+    ),
+    "full": _suite(
+        BenchJob("throughput", "bench_throughput.py", "BENCH_throughput.json"),
+        BenchJob("querycost", "bench_querycost.py", "BENCH_querycost.json"),
+        BenchJob("parallel", "bench_parallel.py", "BENCH_parallel.json"),
+        BenchJob(
+            "asynccrawl", "bench_async_crawl.py", "BENCH_asynccrawl.json"
+        ),
+        BenchJob("service", "bench_service.py", "BENCH_service.json"),
+    ),
+}
+
+
+def suite_artifacts(suite: str = "smoke") -> List[str]:
+    """Artifact filenames a suite produces (the checker's default list)."""
+    return [job.artifact for job in SUITES[suite]]
+
+
+def _child_env() -> Dict[str, str]:
+    """The writers' environment: inherit, plus repro's source on the path."""
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            f"{src_dir}{os.pathsep}{existing}" if existing else src_dir
+        )
+    return env
+
+
+def run_suite(
+    jobs: Sequence[BenchJob],
+    out_dir: PathLike,
+    *,
+    bench_dir: PathLike = "benchmarks",
+    only: Optional[Sequence[str]] = None,
+    echo: Callable[[str], None] = print,
+) -> List[Path]:
+    """Execute every job, writing artifacts into *out_dir*; return paths.
+
+    Raises :class:`BenchRunError` naming every writer that exited
+    non-zero or failed to produce its artifact — partial results stay on
+    disk for inspection, but the run as a whole fails loudly.
+    """
+    bench_root = Path(bench_dir)
+    out_root = Path(out_dir)
+    out_root.mkdir(parents=True, exist_ok=True)
+    if only:
+        unknown = sorted(set(only) - {job.name for job in jobs})
+        if unknown:
+            raise BenchRunError(
+                f"unknown benchmark name(s) {unknown}; "
+                f"suite has {sorted(job.name for job in jobs)}"
+            )
+        jobs = [job for job in jobs if job.name in set(only)]
+    env = _child_env()
+    produced: List[Path] = []
+    errors: List[str] = []
+    for job in jobs:
+        script = bench_root / job.script
+        if not script.is_file():
+            errors.append(f"{job.name}: writer script {script} not found")
+            continue
+        artifact = out_root / job.artifact
+        command = [sys.executable, str(script), *job.argv, "--out", str(artifact)]
+        echo(f"[repro.bench] {job.name}: {' '.join(command)}")
+        result = subprocess.run(command, env=env)
+        if result.returncode != 0:
+            errors.append(f"{job.name}: exited with code {result.returncode}")
+            continue
+        if not artifact.is_file():
+            errors.append(f"{job.name}: completed but wrote no {artifact}")
+            continue
+        produced.append(artifact)
+    if errors:
+        raise BenchRunError(
+            "benchmark suite failed: " + "; ".join(errors)
+        )
+    return produced

@@ -1,0 +1,93 @@
+"""The per-PR benchmark time series (``BENCH_TRAJECTORY.json``).
+
+Each gated run folds into one append-only document::
+
+    {
+      "schema_version": 1,
+      "runs": [
+        {"sequence": 1, "label": "...", "timestamp": "...",
+         "scale": "smoke", "host": {...},
+         "artifacts": {"BENCH_throughput.json": {"benchmark": ...,
+                                                 "metrics": {...}}, ...}},
+        ...
+      ]
+    }
+
+This is the trajectory the roadmap re-anchors read: a metric's history
+across PRs, not just its latest value.  Appends go through the same
+atomic writer as every artifact, and a corrupt or foreign document fails
+loudly instead of being silently replaced.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.io import PathLike, atomic_write_json, load_json
+from repro.bench.schema import SCHEMA_VERSION, host_metadata, load_artifact
+
+_EMPTY = {"schema_version": SCHEMA_VERSION, "runs": []}
+
+
+def load_trajectory(path: PathLike) -> Dict[str, object]:
+    """Load (or initialize) the trajectory document, validating its shape."""
+    target = Path(path)
+    if not target.exists():
+        return {"schema_version": SCHEMA_VERSION, "runs": []}
+    document = load_json(target)
+    if (
+        not isinstance(document, dict)
+        or document.get("schema_version") != SCHEMA_VERSION
+        or not isinstance(document.get("runs"), list)
+    ):
+        raise ValueError(
+            f"{target} is not a repro.bench trajectory document "
+            f"(expected schema_version={SCHEMA_VERSION} with a 'runs' list)"
+        )
+    return document
+
+
+def append_run(
+    trajectory_path: PathLike,
+    results_dir: PathLike,
+    artifacts: Sequence[str],
+    *,
+    label: Optional[str] = None,
+    timestamp: Optional[str] = None,
+) -> Dict[str, object]:
+    """Fold one run's artifacts into the trajectory; return the new entry."""
+    results_root = Path(results_dir)
+    document = load_trajectory(trajectory_path)
+    runs: List[dict] = document["runs"]  # type: ignore[assignment]
+    entry_artifacts: Dict[str, object] = {}
+    scales = set()
+    for artifact in artifacts:
+        path = results_root / artifact
+        if not path.is_file():
+            raise FileNotFoundError(
+                f"cannot append trajectory entry: {path} is missing "
+                "(run the suite first)"
+            )
+        envelope = load_artifact(path)
+        scales.add(envelope.scale)
+        entry_artifacts[artifact] = {
+            "benchmark": envelope.benchmark,
+            "scale": envelope.scale,
+            "metrics": envelope.metrics,
+        }
+    if not entry_artifacts:
+        raise ValueError("cannot append an empty trajectory entry (no artifacts)")
+    entry = {
+        "sequence": len(runs) + 1,
+        "label": label,
+        "timestamp": timestamp
+        or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scale": scales.pop() if len(scales) == 1 else "mixed",
+        "host": host_metadata(),
+        "artifacts": entry_artifacts,
+    }
+    runs.append(entry)
+    atomic_write_json(trajectory_path, document)
+    return entry

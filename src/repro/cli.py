@@ -7,8 +7,11 @@ Usage examples::
     walk-not-wait run table1 --csv out.csv
     walk-not-wait run all --scale quick
     walk-not-wait estimate --job job.json --dataset ba_synthetic --json
+    walk-not-wait bench run --suite smoke --out bench_results
+    walk-not-wait bench check --baseline . --current bench_results
 
-(Equivalently: ``python -m repro ...``.)
+(Equivalently: ``python -m repro ...``; ``bench`` forwards verbatim to
+``python -m repro.bench``, the regression-gating benchmark harness.)
 
 The ``estimate`` subcommand is the CLI face of the unified job API: it
 loads an :class:`~repro.core.dispatch.EstimationJobSpec` JSON document
@@ -96,6 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the result as a JSON document instead of text",
     )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="regression-gating benchmark harness (run / check / append)",
+        add_help=False,
+    )
+    bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m repro.bench`",
+    )
     return parser
 
 
@@ -152,6 +166,11 @@ def _dispatch(argv: list[str] | None) -> int:
             args.csv.write_text("".join(csv_chunks), encoding="utf-8")
             print(f"wrote CSV to {args.csv}", file=sys.stderr)
         return 0
+
+    if args.command == "bench":
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(args.bench_args)
 
     if args.command == "estimate":
         import json

@@ -43,12 +43,21 @@ class Gauge:
 
 @dataclass
 class LatencyStat:
-    """Running moments of a duration distribution (O(1) memory)."""
+    """Running moments of a duration distribution (O(1) memory).
+
+    The no-observation state is pinned as ``None`` — not ``0.0`` (which
+    would read as "instant") and never ``NaN`` (which is not valid
+    JSON): before any :meth:`observe`, :attr:`mean`, :attr:`stddev`, and
+    :attr:`max` are all ``None``.  After exactly one observation the
+    mean and max equal that sample and the spread is ``0.0``.
+    :meth:`summary` packages all four fields JSON-serializably in every
+    state.
+    """
 
     count: int = 0
     total: float = 0.0
     _sum_sq: float = 0.0
-    max: float = 0.0
+    max: Optional[float] = None
 
     def observe(self, seconds: float) -> None:
         """Record one duration (simulated seconds)."""
@@ -57,20 +66,35 @@ class LatencyStat:
         self.count += 1
         self.total += seconds
         self._sum_sq += seconds * seconds
-        self.max = max(self.max, seconds)
+        self.max = seconds if self.max is None else max(self.max, seconds)
 
     @property
-    def mean(self) -> float:
-        """Mean duration; 0.0 before any observation."""
-        return self.total / self.count if self.count else 0.0
+    def mean(self) -> Optional[float]:
+        """Mean duration; ``None`` before any observation."""
+        return self.total / self.count if self.count else None
 
     @property
-    def stddev(self) -> float:
-        """Population standard deviation; 0.0 before two observations."""
-        if self.count < 2:
+    def stddev(self) -> Optional[float]:
+        """Population standard deviation; ``None`` before any observation.
+
+        One observation has no spread, so the single-sample value is
+        ``0.0`` (defined, degenerate), not ``None`` (undefined).
+        """
+        if self.count == 0:
+            return None
+        if self.count == 1:
             return 0.0
         variance = self._sum_sq / self.count - self.mean**2
         return math.sqrt(max(0.0, variance))
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        """JSON-safe view (finite floats or ``None``, never NaN)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "max": self.max,
+        }
 
 
 @dataclass(frozen=True)
@@ -152,7 +176,14 @@ class ServiceMetrics:
         return sample
 
     def snapshot(self) -> Dict[str, object]:
-        """Flat JSON-safe view of every instrument (bench/adapter output)."""
+        """Flat JSON-safe view of every instrument (bench/adapter output).
+
+        Latency fields follow the pinned :class:`LatencyStat` empty-state
+        contract: ``None`` (JSON ``null``) before any observation, so a
+        snapshot taken at any point in the service lifecycle serializes
+        with ``json.dumps(..., allow_nan=False)`` and never conflates
+        "no data yet" with a measured zero.
+        """
         return {
             "jobs_submitted": self.jobs_submitted.value,
             "jobs_rejected": self.jobs_rejected.value,
@@ -169,11 +200,15 @@ class ServiceMetrics:
             "running_jobs": self.running_jobs.value,
             "running_jobs_high_water": self.running_jobs.high_water,
             "cache_hit_rate": self.cache_hit_rate.value,
+            "first_partial_latency_count": self.first_partial_latency.count,
             "first_partial_latency_mean": self.first_partial_latency.mean,
             "first_partial_latency_max": self.first_partial_latency.max,
+            "job_turnaround_count": self.job_turnaround.count,
             "job_turnaround_mean": self.job_turnaround.mean,
             "job_turnaround_max": self.job_turnaround.max,
+            "crawl_seconds_count": self.crawl_seconds.count,
             "crawl_seconds_mean": self.crawl_seconds.mean,
+            "round_seconds_count": self.round_seconds.count,
             "round_seconds_mean": self.round_seconds.mean,
             "monitor_samples": len(self.samples),
         }

@@ -1,0 +1,72 @@
+"""The atomic write-temp-then-rename discipline every artifact goes through."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import atomic_write_json, load_json
+
+
+def _tmp_droppings(directory):
+    return [name for name in os.listdir(directory) if name.endswith(".tmp")]
+
+
+def test_round_trips_and_leaves_no_temp_files(tmp_path):
+    target = tmp_path / "BENCH_x.json"
+    atomic_write_json(target, {"a": 1, "b": [1.5, True]})
+    assert load_json(target) == {"a": 1, "b": [1.5, True]}
+    assert _tmp_droppings(tmp_path) == []
+    # File ends with a newline (plays nicely with git diffs).
+    assert target.read_text().endswith("\n")
+
+
+def test_overwrite_replaces_whole_document(tmp_path):
+    target = tmp_path / "BENCH_x.json"
+    atomic_write_json(target, {"generation": 1, "extra": "long" * 100})
+    atomic_write_json(target, {"generation": 2})
+    assert load_json(target) == {"generation": 2}
+
+
+def test_missing_directory_fails_loudly(tmp_path):
+    with pytest.raises(FileNotFoundError, match="does not exist"):
+        atomic_write_json(tmp_path / "nope" / "BENCH_x.json", {})
+
+
+def test_parent_is_a_file_fails_loudly(tmp_path):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    with pytest.raises(FileNotFoundError, match="does not exist"):
+        atomic_write_json(blocker / "BENCH_x.json", {})
+
+
+def test_failed_serialization_preserves_old_artifact(tmp_path):
+    # A crash mid-dump must leave the previous baseline bytes intact and
+    # clean up its temporary file — never a truncated/corrupt JSON.
+    target = tmp_path / "BENCH_x.json"
+    atomic_write_json(target, {"good": 1})
+    with pytest.raises(ValueError):
+        atomic_write_json(target, {"bad": float("nan")})
+    assert load_json(target) == {"good": 1}
+    assert _tmp_droppings(tmp_path) == []
+
+
+def test_unserializable_document_never_creates_target(tmp_path):
+    target = tmp_path / "BENCH_x.json"
+    with pytest.raises(TypeError):
+        atomic_write_json(target, {"bad": object()})
+    assert not target.exists()
+    assert _tmp_droppings(tmp_path) == []
+
+
+def test_load_json_reports_corrupt_file_with_path(tmp_path):
+    target = tmp_path / "BENCH_x.json"
+    target.write_text('{"truncated": ')
+    with pytest.raises(ValueError, match="BENCH_x.json"):
+        load_json(target)
+
+
+def test_accepts_string_paths(tmp_path):
+    target = str(tmp_path / "BENCH_x.json")
+    atomic_write_json(target, [1, 2, 3])
+    assert json.loads(open(target).read()) == [1, 2, 3]

@@ -1,0 +1,145 @@
+"""The suite runner: one entry point executing the writer scripts."""
+
+import textwrap
+
+import pytest
+
+from repro.bench import (
+    SUITES,
+    BenchJob,
+    BenchRunError,
+    load_artifact,
+    run_suite,
+    suite_artifacts,
+)
+from repro.bench.runner import _child_env
+
+#: A stand-in writer with the real writers' CLI contract: ``--out`` plus
+#: optional ``--quick``, emitting one enveloped artifact via repro.bench.
+STUB_WRITER = textwrap.dedent(
+    """
+    import argparse
+
+    from repro.bench import write_artifact
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", required=True)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--fail", action="store_true")
+    args = parser.parse_args()
+    if args.fail:
+        raise SystemExit(3)
+    record = {"benchmark": "stub", "value": 41 + int(args.quick)}
+    write_artifact(record, args.out, scale="smoke" if args.quick else "full")
+    """
+)
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    directory = tmp_path / "benchmarks"
+    directory.mkdir()
+    (directory / "bench_stub.py").write_text(STUB_WRITER)
+    return directory
+
+
+def _job(name="stub", artifact="BENCH_stub.json", argv=("--quick",)):
+    return BenchJob(name, "bench_stub.py", artifact, tuple(argv))
+
+
+class TestRunSuite:
+    def test_runs_writers_and_collects_artifacts(self, bench_dir, tmp_path):
+        out = tmp_path / "results"
+        jobs = [_job(), _job(name="other", artifact="BENCH_other.json", argv=())]
+        produced = run_suite(jobs, out, bench_dir=bench_dir, echo=lambda _: None)
+        assert sorted(p.name for p in produced) == [
+            "BENCH_other.json",
+            "BENCH_stub.json",
+        ]
+        smoke = load_artifact(out / "BENCH_stub.json")
+        full = load_artifact(out / "BENCH_other.json")
+        # The --quick flag in the pinned argv became the scale tag.
+        assert smoke.scale == "smoke" and smoke.metrics["value"] == 42
+        assert full.scale == "full" and full.metrics["value"] == 41
+
+    def test_creates_output_directory(self, bench_dir, tmp_path):
+        out = tmp_path / "deep" / "results"
+        run_suite([_job()], out, bench_dir=bench_dir, echo=lambda _: None)
+        assert (out / "BENCH_stub.json").is_file()
+
+    def test_failing_writer_raises_with_exit_code(self, bench_dir, tmp_path):
+        jobs = [_job(argv=("--fail",))]
+        with pytest.raises(BenchRunError, match="stub: exited with code 3"):
+            run_suite(jobs, tmp_path / "r", bench_dir=bench_dir, echo=lambda _: None)
+
+    def test_one_failure_does_not_hide_other_artifacts(self, bench_dir, tmp_path):
+        out = tmp_path / "results"
+        jobs = [_job(argv=("--fail",)), _job(name="ok", artifact="BENCH_ok.json")]
+        with pytest.raises(BenchRunError):
+            run_suite(jobs, out, bench_dir=bench_dir, echo=lambda _: None)
+        assert (out / "BENCH_ok.json").is_file()  # partials stay for inspection
+
+    def test_missing_script_raises(self, tmp_path):
+        (tmp_path / "benchmarks").mkdir()
+        job = BenchJob("ghost", "bench_ghost.py", "BENCH_ghost.json")
+        with pytest.raises(BenchRunError, match="not found"):
+            run_suite(
+                [job],
+                tmp_path / "r",
+                bench_dir=tmp_path / "benchmarks",
+                echo=lambda _: None,
+            )
+
+    def test_only_filter_selects_and_validates_names(self, bench_dir, tmp_path):
+        jobs = [_job(), _job(name="other", artifact="BENCH_other.json")]
+        produced = run_suite(
+            jobs,
+            tmp_path / "r",
+            bench_dir=bench_dir,
+            only=["other"],
+            echo=lambda _: None,
+        )
+        assert [p.name for p in produced] == ["BENCH_other.json"]
+        with pytest.raises(BenchRunError, match="unknown benchmark name"):
+            run_suite(
+                jobs,
+                tmp_path / "r",
+                bench_dir=bench_dir,
+                only=["nope"],
+                echo=lambda _: None,
+            )
+
+
+class TestPinnedSuites:
+    def test_smoke_and_full_cover_the_five_artifacts(self):
+        expected = {
+            "BENCH_throughput.json",
+            "BENCH_querycost.json",
+            "BENCH_parallel.json",
+            "BENCH_asynccrawl.json",
+            "BENCH_service.json",
+        }
+        assert set(suite_artifacts("smoke")) == expected
+        assert set(suite_artifacts("full")) == expected
+
+    def test_smoke_jobs_are_pinned_to_quick_scale(self):
+        for job in SUITES["smoke"]:
+            assert "--quick" in job.argv, job.name
+
+    def test_writer_scripts_exist_in_the_repo(self):
+        from pathlib import Path
+
+        bench_root = Path(__file__).resolve().parents[2] / "benchmarks"
+        for job in SUITES["smoke"]:
+            assert (bench_root / job.script).is_file(), job.script
+
+
+def test_child_env_exposes_repro_source_tree():
+    import os
+    from pathlib import Path
+
+    import repro
+
+    env = _child_env()
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    assert src in env["PYTHONPATH"].split(os.pathsep)

@@ -1,0 +1,294 @@
+"""The regression gate itself, driven through synthetic artifact fixtures.
+
+These are the acceptance fixtures from the harness's contract: a clean
+current-vs-baseline run exits 0; an injected ≥20% steps/sec regression
+and a 1-query query-cost drift both exit non-zero with a readable
+per-metric diff; a host mismatch downgrades timing failures to warnings
+while deterministic drift still fails.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    CheckPolicy,
+    TimingMode,
+    check_directories,
+    suite_artifacts,
+    write_artifact,
+)
+from repro.bench.cli import main as bench_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: One synthetic record shaped like the real suite's output: a mix of
+#: deterministic metrics (query cost, simulated clock, counts) and
+#: timing metrics (steps/sec, real seconds, speedups).
+BASE_RECORD = {
+    "benchmark": "synthetic_suite",
+    "graph": {"model": "barabasi_albert", "nodes": 500, "seed": 42},
+    "serial": {"simulated_seconds": 94.5, "real_seconds": 0.05, "query_cost": 1500},
+    "designs": {
+        "srw": {
+            "scalar": {"walks": 200, "steps_per_sec": 700000.0},
+            "batch": {"steps_per_sec": 33000000.0, "speedup_vs_scalar": 47.1},
+        }
+    },
+}
+
+HOST_A = {"cpu_count": 1, "pid_cpu_count": 1, "platform": "linux-x86_64"}
+HOST_B = {"cpu_count": 8, "pid_cpu_count": 8, "platform": "linux-x86_64"}
+
+ARTIFACTS = ["BENCH_synthetic.json"]
+
+
+def _write(directory, record, host=HOST_A, scale="smoke", name=ARTIFACTS[0]):
+    directory.mkdir(parents=True, exist_ok=True)
+    return write_artifact(record, directory / name, scale=scale, host=host)
+
+
+def _check_cli(baseline, current, *extra):
+    return bench_main(
+        ["check", "--baseline", str(baseline), "--current", str(current), *extra]
+    )
+
+
+@pytest.fixture
+def synthetic_suite(monkeypatch):
+    """Point the ``check`` CLI at the synthetic artifact instead of the
+    real five-writer suite, so fixtures only have to provide one file."""
+    monkeypatch.setattr(
+        "repro.bench.cli.suite_artifacts", lambda suite: ARTIFACTS
+    )
+
+
+@pytest.fixture
+def dirs(tmp_path, synthetic_suite):
+    baseline, current = tmp_path / "baseline", tmp_path / "current"
+    _write(baseline, BASE_RECORD)
+    return baseline, current
+
+
+class TestCleanRun:
+    def test_identical_records_pass(self, dirs):
+        baseline, current = dirs
+        _write(current, copy.deepcopy(BASE_RECORD))
+        report = check_directories(baseline, current, ARTIFACTS)
+        assert report.ok
+        assert report.failures == []
+
+    def test_timing_jitter_within_tolerance_passes(self, dirs):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        # 10% slower steps/sec and 15% more real seconds: inside the band.
+        record["designs"]["srw"]["scalar"]["steps_per_sec"] *= 0.90
+        record["serial"]["real_seconds"] *= 1.15
+        _write(current, record)
+        assert check_directories(baseline, current, ARTIFACTS).ok
+
+    def test_timing_improvement_never_fails(self, dirs):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["designs"]["srw"]["scalar"]["steps_per_sec"] *= 3.0
+        record["serial"]["real_seconds"] *= 0.2
+        _write(current, record)
+        assert check_directories(baseline, current, ARTIFACTS).ok
+
+
+class TestDeterministicDrift:
+    def test_one_query_cost_drift_fails(self, dirs, capsys):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["serial"]["query_cost"] += 1  # off by a single query
+        _write(current, record)
+        assert _check_cli(baseline, current) == 1
+        out = capsys.readouterr().out
+        # The diff must name the metric and both values, readably.
+        assert "serial.query_cost" in out
+        assert "1500" in out and "1501" in out
+        assert "FAIL" in out
+
+    def test_simulated_clock_drift_fails(self, dirs):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["serial"]["simulated_seconds"] += 0.25
+        _write(current, record)
+        report = check_directories(baseline, current, ARTIFACTS)
+        assert not report.ok
+        assert [d.key for d in report.failures] == ["serial.simulated_seconds"]
+
+    def test_deterministic_drift_fails_even_across_hosts(self, dirs):
+        # Host mismatch softens timing only — a query-cost change is a
+        # behavior change on any machine.
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["serial"]["query_cost"] -= 1
+        _write(current, record, host=HOST_B)
+        report = check_directories(baseline, current, ARTIFACTS)
+        assert not report.ok
+
+    def test_deterministic_drift_fails_even_in_warn_timing_mode(self, dirs):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["designs"]["srw"]["scalar"]["walks"] = 199
+        _write(current, record)
+        assert _check_cli(baseline, current, "--timing", "warn") == 1
+
+
+class TestTimingRegressions:
+    def test_twenty_percent_steps_per_sec_regression_fails(self, dirs, capsys):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["designs"]["srw"]["scalar"]["steps_per_sec"] *= 0.79  # >20% drop
+        _write(current, record)
+        assert _check_cli(baseline, current) == 1
+        out = capsys.readouterr().out
+        assert "designs.srw.scalar.steps_per_sec" in out
+        assert "regression" in out
+
+    def test_host_mismatch_downgrades_timing_to_warning(self, dirs, capsys):
+        # The 1-core CI container must never hard-fail a multi-core
+        # baseline's timing numbers.
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["designs"]["srw"]["scalar"]["steps_per_sec"] *= 0.5
+        _write(current, record, host=HOST_B)
+        assert _check_cli(baseline, current) == 0
+        out = capsys.readouterr().out
+        assert "WARN" in out and "cpu_count" in out
+
+    def test_warn_mode_downgrades_timing_even_on_matching_hosts(self, dirs):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["designs"]["srw"]["scalar"]["steps_per_sec"] *= 0.5
+        _write(current, record)
+        assert _check_cli(baseline, current, "--timing", "warn") == 0
+        report = check_directories(
+            baseline,
+            current,
+            ARTIFACTS,
+            CheckPolicy(timing_mode=TimingMode.WARN),
+        )
+        assert report.ok
+        assert len(report.warnings) == 1
+
+    def test_tolerance_is_configurable(self, dirs):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["designs"]["srw"]["scalar"]["steps_per_sec"] *= 0.90
+        _write(current, record)
+        assert _check_cli(baseline, current, "--tolerance", "0.05") == 1
+        assert _check_cli(baseline, current, "--tolerance", "0.20") == 0
+
+
+class TestStructuralProblems:
+    def test_missing_current_artifact_fails(self, dirs, capsys):
+        baseline, current = dirs
+        current.mkdir()
+        assert _check_cli(baseline, current) == 1
+        assert "produced no" in capsys.readouterr().out
+
+    def test_missing_baseline_warns_but_passes(
+        self, tmp_path, synthetic_suite, capsys
+    ):
+        baseline, current = tmp_path / "baseline", tmp_path / "current"
+        baseline.mkdir()
+        _write(current, BASE_RECORD)
+        assert _check_cli(baseline, current) == 0
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_scale_mismatch_fails(self, dirs):
+        baseline, current = dirs
+        _write(current, copy.deepcopy(BASE_RECORD), scale="full")
+        report = check_directories(baseline, current, ARTIFACTS)
+        assert not report.ok
+        assert "scale mismatch" in report.failures[0].message
+
+    def test_metric_disappearance_fails_new_metric_warns(self, dirs):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        del record["designs"]["srw"]["scalar"]["walks"]
+        record["designs"]["srw"]["scalar"]["new_counter"] = 7
+        _write(current, record)
+        report = check_directories(baseline, current, ARTIFACTS)
+        assert [d.key for d in report.failures] == ["designs.srw.scalar.walks"]
+        assert any(
+            d.key == "designs.srw.scalar.new_counter" for d in report.warnings
+        )
+
+    def test_benchmark_rename_fails(self, dirs):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["benchmark"] = "renamed_suite"
+        _write(current, record)
+        report = check_directories(baseline, current, ARTIFACTS)
+        assert not report.ok
+        assert "benchmark name changed" in report.failures[0].message
+
+    def test_legacy_baseline_compares_with_timing_warnings(self, tmp_path):
+        # Pre-envelope baselines (bare records) still gate deterministic
+        # metrics; their unknown host keeps timing warn-only.
+        baseline, current = tmp_path / "baseline", tmp_path / "current"
+        baseline.mkdir()
+        (baseline / ARTIFACTS[0]).write_text(json.dumps(BASE_RECORD))
+        record = copy.deepcopy(BASE_RECORD)
+        record["designs"]["srw"]["scalar"]["steps_per_sec"] *= 0.5  # timing
+        _write(current, record)
+        report = check_directories(baseline, current, ARTIFACTS)
+        assert report.ok  # timing-only drift: warned, not failed
+        record["serial"]["query_cost"] += 1  # deterministic
+        _write(current, record)
+        assert not check_directories(baseline, current, ARTIFACTS).ok
+
+
+class TestReportSurface:
+    def test_json_report_mode(self, dirs, capsys):
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["serial"]["query_cost"] += 1
+        _write(current, record)
+        assert _check_cli(baseline, current, "--json") == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        diffs = doc["artifacts"][0]["diffs"]
+        assert any(d["key"] == "serial.query_cost" for d in diffs)
+
+    def test_render_summarizes_compared_counts(self, dirs):
+        baseline, current = dirs
+        _write(current, copy.deepcopy(BASE_RECORD))
+        report = check_directories(baseline, current, ARTIFACTS)
+        text = report.render()
+        assert "PASS" in text
+        assert "exact" in text and "timing" in text
+
+
+class TestCommittedBaselines:
+    """The acceptance criterion against the real repository tree."""
+
+    def test_clean_tree_self_check_exits_zero(self, capsys):
+        # `repro.bench check --baseline .` on a clean tree: every
+        # committed artifact equals itself, so the gate passes.
+        assert (
+            bench_main(
+                [
+                    "check",
+                    "--baseline",
+                    str(REPO_ROOT),
+                    "--current",
+                    str(REPO_ROOT),
+                ]
+            )
+            == 0
+        )
+        assert "PASS" in capsys.readouterr().out
+
+    def test_committed_artifacts_are_normalized_envelopes(self):
+        for artifact in suite_artifacts("smoke"):
+            doc = json.loads((REPO_ROOT / artifact).read_text())
+            assert doc.get("schema_version") == 1, artifact
+            assert doc.get("scale") == "smoke", artifact
+            assert "cpu_count" in doc.get("host", {}), artifact
+            assert isinstance(doc.get("metrics"), dict) and doc["metrics"], artifact

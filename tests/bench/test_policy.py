@@ -1,0 +1,85 @@
+"""The exact-vs-tolerance metric split and regression arithmetic."""
+
+import pytest
+
+from repro.bench import (
+    CheckPolicy,
+    Direction,
+    MetricKind,
+    classify,
+    timing_regression,
+)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "designs.srw.scalar.steps_per_sec",
+            "designs.srw.scalar.walks_per_sec",
+            "designs.srw.batch.1024.speedup_steps_per_sec",
+            "designs.mhrw.sharded.2.speedup_vs_batch",
+            "pipeline.4.speedup_vs_serial",
+        ],
+    )
+    def test_rates_and_speedups_are_timing_higher_better(self, key):
+        assert classify(key) == (MetricKind.TIMING, Direction.HIGHER_IS_BETTER)
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "designs.srw.scalar.seconds",
+            "serial.real_seconds",
+            "ws_bw_batch.srw.scalar_seconds",
+            "ws_bw_batch.srw.batch_seconds",
+        ],
+    )
+    def test_wall_clock_is_timing_lower_better(self, key):
+        assert classify(key) == (MetricKind.TIMING, Direction.LOWER_IS_BETTER)
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "serial.simulated_seconds",  # FakeClock time is deterministic
+            "pipeline.4.simulated_seconds",
+            "samplers.srw.we-srw.query_cost",
+            "samplers.srw.we-srw.queries_per_sample",
+            "sweep.4.shared.ledger_total",
+            "sweep.4.shared.jobs.0.samples",
+            "graph.nodes",
+            "pipeline.4.final_relative_error",
+            "ws_bw_batch.srw.query_cost_unchanged",
+            "converged",
+        ],
+    )
+    def test_deterministic_metrics_are_exact(self, key):
+        assert classify(key)[0] is MetricKind.EXACT
+
+
+class TestTimingRegression:
+    def test_higher_better_drop_is_positive_regression(self):
+        assert timing_regression(100.0, 75.0, Direction.HIGHER_IS_BETTER) == (
+            pytest.approx(0.25)
+        )
+
+    def test_higher_better_gain_is_negative(self):
+        assert (
+            timing_regression(100.0, 130.0, Direction.HIGHER_IS_BETTER) < 0
+        )
+
+    def test_lower_better_growth_is_positive_regression(self):
+        assert timing_regression(2.0, 3.0, Direction.LOWER_IS_BETTER) == (
+            pytest.approx(0.5)
+        )
+
+    def test_lower_better_shrink_is_negative(self):
+        assert timing_regression(2.0, 1.0, Direction.LOWER_IS_BETTER) < 0
+
+    def test_non_positive_baseline_carries_no_signal(self):
+        assert timing_regression(0.0, 5.0, Direction.HIGHER_IS_BETTER) == 0.0
+        assert timing_regression(-1.0, 5.0, Direction.LOWER_IS_BETTER) == 0.0
+
+
+def test_policy_rejects_negative_tolerance():
+    with pytest.raises(ValueError, match=">= 0"):
+        CheckPolicy(tolerance=-0.1)

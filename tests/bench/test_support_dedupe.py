@@ -1,0 +1,74 @@
+"""Regression: benchmark reports must render exactly once per run.
+
+``benchmarks/support.py`` used to print each rendered result live *and*
+re-emit it from the terminal-summary hook — under ``pytest -s`` every
+report appeared twice.  The emission logic now lives in
+``emit_terminal_summary`` so the dedupe rule is directly testable: the
+hook writes the block only when the live prints were captured (i.e. not
+shown).
+"""
+
+import pytest
+
+from benchmarks import support
+
+
+@pytest.fixture(autouse=True)
+def isolated_results(monkeypatch):
+    monkeypatch.setattr(support, "RENDERED_RESULTS", [])
+
+
+def _collect():
+    lines = []
+    return lines, lines.append
+
+
+def test_captured_run_emits_each_result_once_via_the_hook():
+    support.RENDERED_RESULTS.extend(["table A", "table B"])
+    lines, write_line = _collect()
+    assert support.emit_terminal_summary(write_line, already_shown_live=False)
+    body = "\n".join(lines)
+    assert body.count("table A") == 1
+    assert body.count("table B") == 1
+    assert "Measured experiment results" in body
+
+
+def test_unbuffered_run_skips_the_hook_reprint():
+    # Under `pytest -s` the live print() already reached the terminal:
+    # the summary hook must not duplicate every report.
+    support.RENDERED_RESULTS.extend(["table A"])
+    lines, write_line = _collect()
+    assert not support.emit_terminal_summary(write_line, already_shown_live=True)
+    assert lines == []
+
+
+def test_no_results_means_no_summary_block():
+    lines, write_line = _collect()
+    assert not support.emit_terminal_summary(write_line, already_shown_live=False)
+    assert lines == []
+
+
+def test_run_and_render_registers_and_prints_live(capsys):
+    class _Benchmark:
+        def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+            return fn(*args, **(kwargs or {}))
+
+    calls = {}
+
+    def fake_run(experiment_id, scale, seed):
+        calls["args"] = (experiment_id, scale, seed)
+        return "RESULT"
+
+    import benchmarks.support as mod
+
+    original_run, original_render = mod.run_experiment, mod.render_result
+    mod.run_experiment, mod.render_result = fake_run, lambda r: f"rendered {r}"
+    try:
+        result = support.run_and_render(_Benchmark(), "figure6", seed=5)
+    finally:
+        mod.run_experiment, mod.render_result = original_run, original_render
+    assert result == "RESULT"
+    assert calls["args"] == ("figure6", "quick", 5)
+    assert support.RENDERED_RESULTS == ["rendered RESULT"]
+    # Exactly one live print of the rendered block.
+    assert capsys.readouterr().out.count("rendered RESULT") == 1

@@ -37,15 +37,53 @@ class TestLatencyStat:
         assert stat.max == 3.0
         assert stat.stddev == pytest.approx((2.0 / 3.0) ** 0.5)
 
-    def test_empty_is_zero(self):
+    def test_empty_is_none_not_zero(self):
+        # Pinned: "no observations yet" is None — distinguishable from a
+        # measured zero-latency, and JSON-safe (null), never NaN.
         stat = LatencyStat()
-        assert stat.mean == 0.0
-        assert stat.stddev == 0.0
+        assert stat.count == 0
+        assert stat.mean is None
+        assert stat.stddev is None
+        assert stat.max is None
+        assert stat.summary() == {
+            "count": 0,
+            "mean": None,
+            "stddev": None,
+            "max": None,
+        }
 
-    def test_single_observation_has_no_spread(self):
+    def test_single_observation_pins_degenerate_moments(self):
+        # Pinned: one sample defines mean and max; the spread of a
+        # single sample is 0.0 (defined, degenerate), not None.
         stat = LatencyStat()
         stat.observe(5.0)
+        assert stat.mean == 5.0
+        assert stat.max == 5.0
         assert stat.stddev == 0.0
+        assert stat.summary() == {
+            "count": 1,
+            "mean": 5.0,
+            "stddev": 0.0,
+            "max": 5.0,
+        }
+
+    def test_zero_duration_observation_is_not_empty(self):
+        # A real 0.0-second observation must not look like "no data".
+        stat = LatencyStat()
+        stat.observe(0.0)
+        assert stat.mean == 0.0
+        assert stat.max == 0.0
+        assert stat.count == 1
+
+    def test_summary_json_serializable_in_all_states(self):
+        import json
+
+        stat = LatencyStat()
+        json.dumps(stat.summary(), allow_nan=False)
+        stat.observe(1.25)
+        json.dumps(stat.summary(), allow_nan=False)
+        stat.observe(0.75)
+        json.dumps(stat.summary(), allow_nan=False)
 
     def test_rejects_negative(self):
         with pytest.raises(ValueError, match=">= 0"):
@@ -83,5 +121,27 @@ class TestServiceMetrics:
         m.first_partial_latency.observe(1.5)
         snap = m.snapshot()
         assert snap["jobs_submitted"] == 2
+        assert snap["first_partial_latency_count"] == 1
         assert snap["first_partial_latency_mean"] == 1.5
-        json.dumps(snap)  # must not raise
+        json.dumps(snap, allow_nan=False)  # must not raise
+
+    def test_pristine_snapshot_reports_null_latencies(self):
+        # Regression: empty LatencyStats used to report mean/max 0.0,
+        # indistinguishable from an instant response.  A service that has
+        # served nothing must say "no data" (null), and the snapshot must
+        # still be strict-JSON serializable.
+        import json
+
+        snap = ServiceMetrics().snapshot()
+        for stat in (
+            "first_partial_latency",
+            "job_turnaround",
+            "crawl_seconds",
+            "round_seconds",
+        ):
+            assert snap[f"{stat}_count"] == 0
+            assert snap[f"{stat}_mean"] is None
+        assert snap["first_partial_latency_max"] is None
+        assert snap["job_turnaround_max"] is None
+        parsed = json.loads(json.dumps(snap, allow_nan=False))
+        assert parsed["first_partial_latency_mean"] is None
