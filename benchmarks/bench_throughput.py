@@ -26,10 +26,12 @@ from repro.core.crawl import InitialCrawl
 from repro.core.unbiased import unbiased_estimate_batch
 from repro.core.walk_estimate import we_full_sampler
 from repro.core.weighted import ForwardHistory, weighted_backward_estimate
+from repro.errors import ConfigurationError
 from repro.graphs.generators import barabasi_albert_graph
 from repro.osn.api import SocialNetworkAPI
 from repro.rng import ensure_rng
 from repro.walks.batch import run_walk_batch
+from repro.walks.kernels import set_default_backend
 from repro.walks.transitions import (
     LazyWalk,
     MaxDegreeWalk,
@@ -153,13 +155,13 @@ def _time_scalar(graph, design, walks, steps, seed) -> dict:
     }
 
 
-def _time_batch(csr, design, k, rounds, steps, seed) -> dict:
+def _time_batch(csr, design, k, rounds, steps, seed, backend=None) -> dict:
     """Time *rounds* batch launches of width *k* each."""
     rng = ensure_rng(seed)
     starts = np.zeros(k, dtype=np.int64)
     begin = time.perf_counter()
     for _ in range(rounds):
-        run_walk_batch(csr, design, starts, steps, seed=rng)
+        run_walk_batch(csr, design, starts, steps, seed=rng, backend=backend)
     elapsed = time.perf_counter() - begin
     walks = k * rounds
     return {
@@ -179,6 +181,7 @@ def run_comparison(
     scalar_walks: int = 200,
     widths=(1, 64, 1024),
     seed: int = 42,
+    kernel_backend: str = "numpy",
 ) -> dict:
     """Scalar-vs-batch walk throughput on the synthetic benchmark graph."""
     graph = barabasi_albert_graph(nodes, attach, seed=seed).relabeled()
@@ -191,6 +194,7 @@ def run_comparison(
     }
     record = {
         "benchmark": "walk_throughput",
+        "kernel_backend": kernel_backend,
         "graph": {
             "model": "barabasi_albert",
             "nodes": graph.number_of_nodes(),
@@ -200,6 +204,16 @@ def run_comparison(
         "steps_per_walk": steps,
         "designs": {},
     }
+    # A JIT backend compiles its trajectory kernel on first call; pay
+    # that once here so no timed row carries the compilation.
+    run_walk_batch(
+        csr,
+        LazyWalk(SimpleRandomWalk(), 0.5),
+        np.zeros(1, dtype=np.int64),
+        1,
+        seed=0,
+        backend=kernel_backend,
+    )
     for name, design in designs.items():
         scalar = _time_scalar(graph, design, scalar_walks, steps, seed)
         batch = {}
@@ -207,7 +221,9 @@ def run_comparison(
             # Match total walk work to the scalar run where K allows it,
             # with at least one round per width.
             rounds = max(1, scalar_walks // k)
-            timing = _time_batch(csr, design, k, rounds, steps, seed)
+            timing = _time_batch(
+                csr, design, k, rounds, steps, seed, backend=kernel_backend
+            )
             timing["speedup_steps_per_sec"] = (
                 timing["steps_per_sec"] / scalar["steps_per_sec"]
             )
@@ -229,6 +245,14 @@ def main(argv=None) -> None:
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
+        "--backend",
+        choices=("numpy", "native"),
+        default="numpy",
+        help="kernel backend timed in the batch rows (native needs numba; "
+        "the backend is recorded in the artifact's host block so the "
+        "regression checker only compares like with like)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="tiny budget for CI smoke runs (overrides nodes/steps/walks)",
@@ -238,14 +262,23 @@ def main(argv=None) -> None:
         parser.error(f"--k widths must be >= 1, got {args.widths}")
     if args.quick:
         args.nodes, args.steps, args.scalar_walks = 500, 50, 50
+    try:
+        # Strict: a benchmark must never silently fall back — the numbers
+        # would be labeled with a backend that never ran.  Setting the
+        # process default also stamps host_metadata()'s kernel_backend.
+        set_default_backend(args.backend)
+    except ConfigurationError as error:
+        parser.error(str(error))
     record = run_comparison(
         nodes=args.nodes,
         steps=args.steps,
         scalar_walks=args.scalar_walks,
         widths=tuple(args.widths),
         seed=args.seed,
+        kernel_backend=args.backend,
     )
     write_artifact(record, args.out, scale="smoke" if args.quick else "full")
+    print(f"kernel backend: {args.backend}")
     for name, entry in record["designs"].items():
         scalar = entry["scalar"]["steps_per_sec"]
         print(f"{name}: scalar {scalar:,.0f} steps/sec")

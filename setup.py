@@ -41,5 +41,12 @@ setup(
             "pytest-benchmark",
             "hypothesis",
         ],
+        # The JIT walk-kernel backend (repro.walks.kernels "native").
+        # Optional: without it the package runs on the NumPy reference
+        # kernels; 0.57 is the first numba with np.random.Generator
+        # support in nopython code (bit-identical streams).
+        "native": [
+            "numba>=0.57",
+        ],
     },
 )

@@ -51,12 +51,22 @@ def effective_cpu_count() -> int:
 
 
 def host_metadata() -> Dict[str, object]:
-    """The host facts the regression policy keys on."""
+    """The host facts the regression policy keys on.
+
+    ``kernel_backend`` is the process-default walk-kernel backend
+    (:mod:`repro.walks.kernels`) — an execution-environment fact, not a
+    result, so it rides in the host block: timings from differently
+    backed runs are no more comparable than timings from different CPUs,
+    and :func:`hosts_match` downgrades them to warn the same way.
+    """
+    from repro.walks.kernels import default_backend_name
+
     return {
         "cpu_count": effective_cpu_count(),
         "pid_cpu_count": os.cpu_count(),
         "platform": f"{platform.system().lower()}-{platform.machine()}",
         "python": platform.python_version(),
+        "kernel_backend": default_backend_name(),
     }
 
 
@@ -206,4 +216,14 @@ def hosts_match(
                 f"host {key} differs: "
                 f"baseline={baseline.get(key)!r} current={current.get(key)!r}"
             )
+    # Artifacts recorded before the backend field existed were all
+    # NumPy-backed — default the missing key so they keep host-matching
+    # numpy runs, while any cross-backend pair downgrades to warn.
+    base_backend = baseline.get("kernel_backend", "numpy")
+    cur_backend = current.get("kernel_backend", "numpy")
+    if base_backend != cur_backend:
+        return False, (
+            f"host kernel_backend differs: "
+            f"baseline={base_backend!r} current={cur_backend!r}"
+        )
     return True, "hosts match"

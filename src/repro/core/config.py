@@ -42,6 +42,17 @@ class WalkEstimateConfig:
         the API's discovered-graph cache exactly as the scalar walks'
         would.  Designs without a batched transition law (and type-1
         restricted views) silently fall back to the scalar loop.
+    kernel_backend:
+        Kernel backend executing the batch forward-walk trajectory loop
+        — a name registered in :mod:`repro.walks.kernels` (``numpy``
+        reference, ``native`` Numba JIT, ``python`` verification twin).
+        Every backend consumes the seed stream identically, so this is
+        a pure throughput knob: estimates, query accounting, and RNG
+        state are bit-for-bit unchanged.  Validated here against the
+        registry by *name* only; availability (e.g. ``native`` without
+        numba installed) is enforced where a backend is actually
+        selected for execution — :class:`repro.core.dispatch.EngineConfig`
+        and the batch front ends.
     epsilon:
         WS-BW's minimum exploration mass ε (paper default 0.1).
     backward_repetitions:
@@ -75,6 +86,7 @@ class WalkEstimateConfig:
     crawl_hops: int = 2
     weighted_sampling: bool = True
     batch_backward: bool = False
+    kernel_backend: str = "numpy"
     epsilon: float = 0.2
     backward_repetitions: int = 12
     refine_repetitions: int = 4
@@ -93,6 +105,13 @@ class WalkEstimateConfig:
             )
         if self.crawl_hops < 0:
             raise ConfigurationError(f"crawl_hops must be >= 0, got {self.crawl_hops}")
+        from repro.walks.kernels import backend_names
+
+        if self.kernel_backend not in backend_names():
+            raise ConfigurationError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                "registered: " + ", ".join(backend_names())
+            )
         if not 0.0 < self.epsilon <= 1.0:
             raise ConfigurationError(f"epsilon must be in (0, 1], got {self.epsilon}")
         if self.backward_repetitions < 1:

@@ -61,6 +61,7 @@ from repro.errors import ConfigurationError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Graph
 from repro.rng import RngLike
+from repro.walks.kernels import require_backend as require_kernel_backend
 from repro.walks.samplers import SampleBatch
 from repro.walks.transitions import (
     LazyWalk,
@@ -186,6 +187,17 @@ class EngineConfig:
         The PR 4 flag on the scalar backend: route each candidate's
         backward-repetition loop through
         :func:`~repro.core.weighted.ws_bw_batch`.  ``charged`` implies it.
+    kernel_backend:
+        Kernel backend for the batch forward-walk trajectory loop —
+        ``numpy`` (reference), ``native`` (Numba JIT), or ``python``
+        (verification twin); see :mod:`repro.walks.kernels`.  Folded
+        into the job's :class:`~repro.core.config.WalkEstimateConfig`
+        the same way ``batch_backward`` is, so the batch and sharded
+        front ends (and :mod:`repro.service` jobs) inherit it.
+        Validated eagerly for *availability*: asking for ``native``
+        on a host without numba fails here with an actionable message
+        rather than as an ImportError mid-job.  Scalar engines walk
+        node-by-node through the charged API and ignore it.
     """
 
     backend: str = "batch"
@@ -193,12 +205,14 @@ class EngineConfig:
     n_workers: Optional[int] = None
     mp_context: str = "spawn"
     batch_backward: bool = False
+    kernel_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; valid: {', '.join(BACKENDS)}"
             )
+        require_kernel_backend(self.kernel_backend)
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1 or None, got {self.n_workers}"
@@ -325,10 +339,24 @@ class EstimationJobSpec:
         return design_from_spec(self.design)
 
     def walk_config(self) -> WalkEstimateConfig:
-        """The walk knobs with the engine's ``batch_backward`` folded in."""
-        if self.engine.effective_batch_backward and not self.walk.batch_backward:
-            return self.walk.with_overrides(batch_backward=True)
-        return self.walk
+        """The walk knobs with the engine's ``batch_backward`` and
+        ``kernel_backend`` folded in.
+
+        A non-default engine ``kernel_backend`` wins over the walk
+        config's default; a walk config that names a backend explicitly
+        keeps it unless the engine overrides with a non-``numpy`` one —
+        the same "engine regime beats per-walk default" precedence as
+        ``batch_backward``.
+        """
+        config = self.walk
+        if self.engine.effective_batch_backward and not config.batch_backward:
+            config = config.with_overrides(batch_backward=True)
+        if (
+            self.engine.kernel_backend != "numpy"
+            and config.kernel_backend != self.engine.kernel_backend
+        ):
+            config = config.with_overrides(kernel_backend=self.engine.kernel_backend)
+        return config
 
     def with_overrides(self, **changes) -> "EstimationJobSpec":
         """Copy with the given fields replaced (validation re-runs)."""

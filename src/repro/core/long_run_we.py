@@ -227,7 +227,9 @@ def long_run_walk_estimate_batch(
             f"shape {starts.shape}"
         )
 
-    walks = run_walk_batch(csr, design, starts, total * t, seed=rng)
+    walks = run_walk_batch(
+        csr, design, starts, total * t, seed=rng, backend=config.kernel_backend
+    )
     entries = walks.paths[:, 0 : total * t : t]
     ends = walks.paths[:, t :: t]
 

@@ -343,7 +343,12 @@ def walk_estimate_batch(
 
     # Calibration: a small batch seeds the scale-factor pool (§6.3.2).
     calibration = run_walk_batch(
-        csr, design, np.full(config.calibration_walks, start), t, seed=rng
+        csr,
+        design,
+        np.full(config.calibration_walks, start),
+        t,
+        seed=rng,
+        backend=config.kernel_backend,
     )
     light_repetitions = config.calibration_repetitions
     calibration_estimates = unbiased_estimate_batch(
@@ -360,7 +365,14 @@ def walk_estimate_batch(
     bootstrap.ensure_ready()
 
     # Main round: K candidates, estimated and judged together.
-    walks = run_walk_batch(csr, design, np.full(k_walks, start), t, seed=rng)
+    walks = run_walk_batch(
+        csr,
+        design,
+        np.full(k_walks, start),
+        t,
+        seed=rng,
+        backend=config.kernel_backend,
+    )
     estimates = unbiased_estimate_batch(
         csr, design, walks.ends, start, t, seed=rng, repetitions=repetitions
     )

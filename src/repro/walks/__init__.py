@@ -23,6 +23,17 @@ from repro.walks.batch import (
     target_weights_batch,
     walk_attribute_matrix,
 )
+from repro.walks.kernels import (
+    KernelBackend,
+    available_backends,
+    capability_report,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    require_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.walks.samplers import BurnInSampler, LongRunSampler, SampleBatch
 from repro.walks.baselines import BFSSampler, DFSSampler, SnowballSampler
 from repro.walks.convergence import (
@@ -63,6 +74,15 @@ __all__ = [
     "run_nbrw_walk_batch",
     "BatchWalkResult",
     "has_batch_kernel",
+    "KernelBackend",
+    "available_backends",
+    "capability_report",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "require_backend",
+    "resolve_backend",
+    "set_default_backend",
     "target_weights_batch",
     "walk_attribute_matrix",
     "ShardedWalkEngine",

@@ -50,6 +50,7 @@ from repro.errors import ConfigurationError, GraphError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Graph
 from repro.rng import RngLike, ensure_rng
+from repro.walks.kernels import BackendLike, resolve_backend
 from repro.walks.transitions import (
     LazyWalk,
     MaxDegreeWalk,
@@ -293,6 +294,7 @@ def run_walk_batch(
     starts,
     steps: int,
     seed: RngLike = None,
+    backend: BackendLike = None,
 ) -> BatchWalkResult:
     """Run ``len(starts)`` independent *steps*-step walks simultaneously.
 
@@ -309,6 +311,12 @@ def run_walk_batch(
         launch many walks from it (``np.full(k, start)``).
     steps:
         Transitions per walk; 0 returns the starts unchanged.
+    backend:
+        Kernel backend executing the trajectory loop — a name registered
+        in :mod:`repro.walks.kernels` (``numpy``, ``native``,
+        ``python``), a backend object, or ``None`` for the process
+        default.  Every backend consumes the seed stream identically, so
+        this changes throughput, never trajectories.
 
     Returns
     -------
@@ -317,21 +325,17 @@ def run_walk_batch(
     """
     if steps < 0:
         raise ValueError(f"steps must be >= 0, got {steps}")
-    kernel = _resolve_kernel(design)
-    if kernel is None:
+    if _resolve_kernel(design) is None:
         raise ConfigurationError(
             f"design {design.name!r} has no batch kernel; use the scalar "
             "walker (run_walk) or one of: "
             + ", ".join(sorted(cls.name for cls in _KERNELS))
         )
+    executor = resolve_backend(backend)
     csr = as_csr(graph)
     rng = ensure_rng(seed)
     current = _start_positions(csr, starts)
-    paths = np.empty((current.size, steps + 1), dtype=np.int64)
-    paths[:, 0] = current
-    for t in range(steps):
-        current = kernel(csr, design, current, rng)
-        paths[:, t + 1] = current
+    paths = executor.run_walks(csr, design, current, steps, rng)
     if not csr.contiguous:
         paths = csr.node_ids[paths]
     return BatchWalkResult(paths=paths)
@@ -364,6 +368,7 @@ def run_nbrw_walk_batch(
     starts,
     steps: int,
     seed: RngLike = None,
+    backend: BackendLike = None,
 ) -> BatchWalkResult:
     """K simultaneous non-backtracking walks (vectorized
     :func:`repro.walks.nonbacktracking.run_nbrw_walk`).
@@ -373,29 +378,16 @@ def run_nbrw_walk_batch(
     legal move).  The excluded neighbor's slot is skipped by index
     arithmetic over the sorted row, so the draw consumes exactly one
     bounded integer per walk, matching the scalar walker's stream.
+    ``backend`` selects the trajectory executor as in
+    :func:`run_walk_batch`.
     """
     if steps < 0:
         raise ValueError(f"steps must be >= 0, got {steps}")
+    executor = resolve_backend(backend)
     csr = as_csr(graph)
     rng = ensure_rng(seed)
     current = _start_positions(csr, starts)
-    paths = np.empty((current.size, steps + 1), dtype=np.int64)
-    paths[:, 0] = current
-    previous = np.full(current.size, -1, dtype=np.int64)
-    for t in range(steps):
-        deg = csr.degrees[current]
-        _require_alive(deg, current, csr)
-        excluded = (previous >= 0) & (deg > 1)
-        effective = deg - excluded
-        idx = _uniform_indices(rng, effective)
-        if excluded.any():
-            # Skip the arrival edge: indices >= its slot shift right by one.
-            slot = _rows_searchsorted(csr, current[excluded], previous[excluded])
-            bump = idx[excluded] >= slot
-            idx[excluded] += bump
-        nxt = csr.indices[csr.indptr[current] + idx]
-        previous, current = current, nxt
-        paths[:, t + 1] = current
+    paths = executor.run_nbrw(csr, current, steps, rng)
     if not csr.contiguous:
         paths = csr.node_ids[paths]
     return BatchWalkResult(paths=paths)

@@ -74,6 +74,7 @@ from repro.walks.batch import (
     run_nbrw_walk_batch,
     run_walk_batch,
 )
+from repro.walks.kernels import require_backend as require_kernel_backend
 from repro.walks.transitions import TransitionDesign
 
 # ----------------------------------------------------------------------
@@ -156,11 +157,17 @@ def _walk_shard(
     starts: np.ndarray,
     steps: int,
     rng: np.random.Generator,
+    kernel_backend: Optional[str],
     segment: str,
     offset: int,
     total_rows: int,
 ) -> int:
-    paths = run_walk_batch(csr, design, starts, steps, seed=rng).paths
+    # The backend travels as its registry *name* (picklable); the worker
+    # resolves it against its own process-local registry, so a JIT
+    # backend compiles once per worker and persists across rounds.
+    paths = run_walk_batch(
+        csr, design, starts, steps, seed=rng, backend=kernel_backend
+    ).paths
     return _write_rows(segment, paths, offset, total_rows)
 
 
@@ -169,11 +176,14 @@ def _nbrw_shard(
     starts: np.ndarray,
     steps: int,
     rng: np.random.Generator,
+    kernel_backend: Optional[str],
     segment: str,
     offset: int,
     total_rows: int,
 ) -> int:
-    paths = run_nbrw_walk_batch(csr, starts, steps, seed=rng).paths
+    paths = run_nbrw_walk_batch(
+        csr, starts, steps, seed=rng, backend=kernel_backend
+    ).paths
     return _write_rows(segment, paths, offset, total_rows)
 
 
@@ -447,11 +457,16 @@ class ShardedWalkEngine:
         starts,
         steps: int,
         seed: RngLike = None,
+        kernel_backend: Optional[str] = None,
     ) -> BatchWalkResult:
         """Sharded :func:`repro.walks.batch.run_walk_batch`.
 
         Same contract and result type; walk *i* of the merged result
-        started at ``starts[i]``.
+        started at ``starts[i]``.  ``kernel_backend`` names the kernel
+        backend each worker executes its shard with (``None`` = the
+        workers' process default); it is validated parent-side before
+        any task is submitted, and a JIT backend compiles once per
+        persistent worker — later rounds reuse the dispatcher.
         """
         if self.closed:
             raise ConfigurationError("engine is closed")
@@ -462,6 +477,8 @@ class ShardedWalkEngine:
                 f"design {design.name!r} has no batch kernel; the sharded "
                 "engine fans out the batch kernels only"
             )
+        if kernel_backend is not None:
+            kernel_backend = require_kernel_backend(kernel_backend).name
         starts = np.asarray(starts, dtype=np.int64)
         # Validate starts once, parent-side, so workers never see bad ids.
         self.graph.positions_of(starts)
@@ -472,7 +489,10 @@ class ShardedWalkEngine:
         return BatchWalkResult(
             paths=self._gather_paths(
                 _walk_shard,
-                [(design, starts[s], steps, rng) for s, rng in zip(slices, rngs)],
+                [
+                    (design, starts[s], steps, rng, kernel_backend)
+                    for s, rng in zip(slices, rngs)
+                ],
                 slices,
                 starts.size,
                 steps,
@@ -484,12 +504,15 @@ class ShardedWalkEngine:
         starts,
         steps: int,
         seed: RngLike = None,
+        kernel_backend: Optional[str] = None,
     ) -> BatchWalkResult:
         """Sharded :func:`repro.walks.batch.run_nbrw_walk_batch`."""
         if self.closed:
             raise ConfigurationError("engine is closed")
         if steps < 0:
             raise ValueError(f"steps must be >= 0, got {steps}")
+        if kernel_backend is not None:
+            kernel_backend = require_kernel_backend(kernel_backend).name
         starts = np.asarray(starts, dtype=np.int64)
         self.graph.positions_of(starts)
         if starts.size == 0:
@@ -499,7 +522,10 @@ class ShardedWalkEngine:
         return BatchWalkResult(
             paths=self._gather_paths(
                 _nbrw_shard,
-                [(starts[s], steps, rng) for s, rng in zip(slices, rngs)],
+                [
+                    (starts[s], steps, rng, kernel_backend)
+                    for s, rng in zip(slices, rngs)
+                ],
                 slices,
                 starts.size,
                 steps,

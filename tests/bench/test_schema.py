@@ -148,8 +148,32 @@ class TestHostsMatch:
         assert not hosts_match(None, {"cpu_count": 1})[0]
         assert not hosts_match({"cpu_count": 1}, None)[0]
 
+    def test_cross_backend_runs_never_host_match(self):
+        # Timings from differently backed runs must downgrade to warn —
+        # a JIT run gating against a NumPy baseline would be noise.
+        a = {"cpu_count": 2, "platform": "linux-x86_64", "kernel_backend": "numpy"}
+        b = {"cpu_count": 2, "platform": "linux-x86_64", "kernel_backend": "native"}
+        ok, note = hosts_match(a, b)
+        assert not ok and "kernel_backend" in note
+
+    def test_legacy_host_blocks_default_to_numpy_backend(self):
+        # Baselines committed before the backend field were NumPy-backed:
+        # they keep matching numpy runs and keep mismatching native ones.
+        legacy = {"cpu_count": 2, "platform": "linux-x86_64"}
+        numpy_run = dict(legacy, kernel_backend="numpy")
+        native_run = dict(legacy, kernel_backend="native")
+        assert hosts_match(legacy, numpy_run)[0]
+        assert not hosts_match(legacy, native_run)[0]
+
 
 def test_host_metadata_shape():
     host = host_metadata()
-    assert set(host) == {"cpu_count", "pid_cpu_count", "platform", "python"}
+    assert set(host) == {
+        "cpu_count",
+        "pid_cpu_count",
+        "platform",
+        "python",
+        "kernel_backend",
+    }
     assert host["cpu_count"] >= 1
+    assert host["kernel_backend"] == "numpy"  # the process default

@@ -34,6 +34,7 @@ from repro.walks.batch import (
     run_walk_batch,
     target_weights_batch,
 )
+from repro.walks.kernels import backend_names, get_backend
 from repro.walks.transitions import (
     LazyWalk,
     MaxDegreeWalk,
@@ -70,15 +71,23 @@ def graph_pair(request):
 
 
 class TestK1StreamParity:
-    """Same seed, K=1 -> node-for-node identical to the scalar walker."""
+    """Same seed, K=1 -> node-for-node identical to the scalar walker.
 
+    Parametrized over every registered kernel backend: the scalar pin is
+    the ground truth all executors — vectorized NumPy, the compiled
+    trajectory loop, and its no-JIT twin — must hit on the same stream.
+    """
+
+    @pytest.mark.parametrize("backend", backend_names())
     @pytest.mark.parametrize("design_name", sorted(DESIGN_FACTORIES))
     @pytest.mark.parametrize("seed", [0, 7, 1234])
-    def test_k1_matches_scalar(self, graph_pair, design_name, seed):
+    def test_k1_matches_scalar(self, graph_pair, design_name, seed, backend):
+        if not get_backend(backend).available:
+            pytest.skip(f"kernel backend {backend!r} unavailable")
         graph, csr = graph_pair
         design = DESIGN_FACTORIES[design_name](graph)
         scalar = run_walk(graph, design, 3, 150, seed=seed)
-        batch = run_walk_batch(csr, design, [3], 150, seed=seed)
+        batch = run_walk_batch(csr, design, [3], 150, seed=seed, backend=backend)
         assert scalar.path == tuple(batch.paths[0])
 
     @pytest.mark.parametrize("design_name", sorted(DESIGN_FACTORIES))

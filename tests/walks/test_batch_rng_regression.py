@@ -25,6 +25,7 @@ import pytest
 
 from repro.graphs.graph import Graph
 from repro.walks.batch import run_nbrw_walk_batch, run_walk_batch
+from repro.walks.kernels import backend_names, get_backend
 from repro.walks.transitions import (
     LazyWalk,
     MaxDegreeWalk,
@@ -37,6 +38,15 @@ FIXTURE = Path(__file__).parent / "fixtures" / "batch_golden_trajectories.json"
 SEED = 20240716
 K = 4
 STEPS = 12
+
+#: Every registered kernel backend must reproduce the committed stream
+#: bit for bit (unavailable ones — native without numba — auto-skip).
+BACKENDS = backend_names()
+
+
+def _require_backend_or_skip(backend: str) -> None:
+    if not get_backend(backend).available:
+        pytest.skip(f"kernel backend {backend!r} unavailable (numba not installed)")
 
 
 def _designs(graph):
@@ -56,15 +66,29 @@ def _build_graph(edges) -> Graph:
     return graph
 
 
-def _compute_trajectories(graph):
+def _compute_trajectories(graph, backend=None):
     csr = graph.compile()
     starts = np.array([0, 3, 7, 11], dtype=np.int64)
     paths = {
-        name: run_walk_batch(csr, design, starts, STEPS, seed=SEED).paths.tolist()
+        name: run_walk_batch(
+            csr, design, starts, STEPS, seed=SEED, backend=backend
+        ).paths.tolist()
         for name, design in _designs(graph).items()
     }
-    paths["nbrw"] = run_nbrw_walk_batch(csr, starts, STEPS, seed=SEED).paths.tolist()
+    paths["nbrw"] = run_nbrw_walk_batch(
+        csr, starts, STEPS, seed=SEED, backend=backend
+    ).paths.tolist()
     return paths
+
+
+#: Per-backend trajectory cache: each backend computes all kernels once.
+_COMPUTED = {}
+
+
+def _computed(graph, backend):
+    if backend not in _COMPUTED:
+        _COMPUTED[backend] = _compute_trajectories(graph, backend=backend)
+    return _COMPUTED[backend]
 
 
 @pytest.fixture(scope="module")
@@ -89,17 +113,22 @@ def test_fixture_covers_every_kernel(fixture_data, golden_graph):
     assert set(fixture_data["trajectories"]) == expected
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize(
     "kernel",
     ["srw", "mhrw", "nbrw", "lazy-srw", "lazy-mhrw", "maxdeg", "lazy-maxdeg"],
 )
-def test_kernel_reproduces_golden_trajectory(fixture_data, golden_graph, kernel):
-    computed = _compute_trajectories(golden_graph)[kernel]
+def test_kernel_reproduces_golden_trajectory(
+    fixture_data, golden_graph, kernel, backend
+):
+    _require_backend_or_skip(backend)
+    computed = _computed(golden_graph, backend)[kernel]
     golden = fixture_data["trajectories"][kernel]
     assert computed == golden, (
-        f"kernel {kernel!r} no longer consumes the RNG stream as committed; "
-        "if this change is intentional, regenerate the fixture (see module "
-        "docstring) and flag the behavioral break in review"
+        f"kernel {kernel!r} on backend {backend!r} no longer consumes the "
+        "RNG stream as committed; if this change is intentional, regenerate "
+        "the fixture (see module docstring) and flag the behavioral break "
+        "in review"
     )
 
 

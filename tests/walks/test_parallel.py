@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.estimators.metrics import empirical_distribution, l_infinity_bias
 from repro.graphs.generators import barabasi_albert_graph, watts_strogatz_graph
 from repro.graphs.shm import _LIVE_SEGMENTS
+from repro.walks import kernels
 from repro.walks.batch import (
     run_nbrw_walk_batch,
     run_walk_batch,
@@ -76,6 +77,77 @@ class TestSingleWorkerParity:
         sharded = engine1.run_nbrw_walk_batch(starts, 30, seed=55)
         batch = run_nbrw_walk_batch(csr, starts, 30, seed=55)
         assert np.array_equal(sharded.paths, batch.paths)
+
+
+class TestKernelBackendPlumbing:
+    """Backend names travel to workers; JIT dispatchers persist across rounds."""
+
+    ALT_BACKENDS = [name for name in kernels.backend_names() if name != "numpy"]
+
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    def test_sharded_backend_matches_default_engine(
+        self, graph, csr, engine2, backend
+    ):
+        if not kernels.get_backend(backend).available:
+            pytest.skip(f"kernel backend {backend!r} unavailable")
+        design = LazyWalk(MaxDegreeWalk(graph.max_degree()), 0.3)
+        starts = np.arange(24, dtype=np.int64)
+        routed = engine2.run_walk_batch(
+            design, starts, 40, seed=101, kernel_backend=backend
+        )
+        reference = engine2.run_walk_batch(design, starts, 40, seed=101)
+        assert np.array_equal(routed.paths, reference.paths)
+
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    def test_sharded_nbrw_backend_matches_batch_engine(self, csr, engine1, backend):
+        if not kernels.get_backend(backend).available:
+            pytest.skip(f"kernel backend {backend!r} unavailable")
+        starts = np.arange(16, dtype=np.int64)
+        sharded = engine1.run_nbrw_walk_batch(
+            starts, 30, seed=55, kernel_backend=backend
+        )
+        batch = run_nbrw_walk_batch(csr, starts, 30, seed=55)
+        assert np.array_equal(sharded.paths, batch.paths)
+
+    def test_unknown_backend_rejected_before_fanout(self, engine2):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            engine2.run_walk_batch(
+                SimpleRandomWalk(),
+                np.zeros(4, dtype=np.int64),
+                5,
+                seed=1,
+                kernel_backend="cuda",
+            )
+
+    def test_unavailable_backend_rejected_before_fanout(self, engine2):
+        if kernels.get_backend("native").available:
+            pytest.skip("numba installed: native is available on this host")
+        with pytest.raises(ConfigurationError, match="not available"):
+            engine2.run_nbrw_walk_batch(
+                np.zeros(4, dtype=np.int64), 5, seed=1, kernel_backend="native"
+            )
+
+    def test_persistent_pool_pays_compilation_once(self, engine1):
+        # Round 2+ of a persistent pool must reuse the worker's memoized
+        # dispatcher: the compilation-event counter inside the (single,
+        # deterministic) worker process may not grow after the first
+        # round that used a trajectory-loop backend.
+        backend = "native" if kernels.get_backend("native").available else "python"
+        design = SimpleRandomWalk()
+        starts = np.arange(8, dtype=np.int64)
+        engine1.run_walk_batch(design, starts, 20, seed=1, kernel_backend=backend)
+        engine1.run_nbrw_walk_batch(starts, 20, seed=1, kernel_backend=backend)
+        [after_round_one] = engine1.map_shards(kernels._shard_compilation_events, [()])
+        assert after_round_one >= 1
+        for seed in (2, 3):
+            engine1.run_walk_batch(
+                design, starts, 20, seed=seed, kernel_backend=backend
+            )
+            engine1.run_nbrw_walk_batch(starts, 20, seed=seed, kernel_backend=backend)
+        [after_round_three] = engine1.map_shards(
+            kernels._shard_compilation_events, [()]
+        )
+        assert after_round_three == after_round_one
 
 
 class TestDeterminismAndMerge:
