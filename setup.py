@@ -48,5 +48,12 @@ setup(
         "native": [
             "numba>=0.57",
         ],
+        # The HTTP adapter (repro.service.server.create_app) plus the
+        # test client it is exercised with.  Optional: the core service
+        # runs fully in-process without either.
+        "service": [
+            "fastapi",
+            "httpx",
+        ],
     },
 )

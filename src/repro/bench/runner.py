@@ -13,14 +13,19 @@ how the parent was launched.
 from __future__ import annotations
 
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import repro
 from repro.bench.io import PathLike
+
+#: Trailing characters of a failed writer's stderr included in the error.
+_STDERR_TAIL = 2000
 
 
 class BenchRunError(RuntimeError):
@@ -76,6 +81,12 @@ SUITES: Dict[str, Tuple[BenchJob, ...]] = {
             "BENCH_service.json",
             ("--quick",),
         ),
+        BenchJob(
+            "faults",
+            "bench_faults.py",
+            "BENCH_faults.json",
+            ("--quick",),
+        ),
     ),
     "full": _suite(
         BenchJob("throughput", "bench_throughput.py", "BENCH_throughput.json"),
@@ -85,6 +96,7 @@ SUITES: Dict[str, Tuple[BenchJob, ...]] = {
             "asynccrawl", "bench_async_crawl.py", "BENCH_asynccrawl.json"
         ),
         BenchJob("service", "bench_service.py", "BENCH_service.json"),
+        BenchJob("faults", "bench_faults.py", "BENCH_faults.json"),
     ),
 }
 
@@ -106,6 +118,15 @@ def _child_env() -> Dict[str, str]:
     return env
 
 
+def _failure_detail(name: str, returncode: int, stderr: str) -> str:
+    """One writer failure, with its captured stderr tail for diagnosis."""
+    detail = f"{name}: exited with code {returncode}"
+    tail = (stderr or "").strip()
+    if tail:
+        detail += f"; stderr: {tail[-_STDERR_TAIL:]}"
+    return detail
+
+
 def run_suite(
     jobs: Sequence[BenchJob],
     out_dir: PathLike,
@@ -116,13 +137,17 @@ def run_suite(
 ) -> List[Path]:
     """Execute every job, writing artifacts into *out_dir*; return paths.
 
-    Raises :class:`BenchRunError` naming every writer that exited
-    non-zero or failed to produce its artifact — partial results stay on
-    disk for inspection, but the run as a whole fails loudly.
+    Writers stage their artifacts into a temporary sibling of *out_dir*
+    and the whole set is promoted only when every writer succeeds: a
+    failed run never leaves a partial *out_dir* that ``repro.bench
+    check`` could mistake for a clean one.  On failure the staging
+    directory is kept for inspection and :class:`BenchRunError` names
+    every writer that exited non-zero (with its captured stderr) or
+    failed to produce its artifact.
     """
     bench_root = Path(bench_dir)
-    out_root = Path(out_dir)
-    out_root.mkdir(parents=True, exist_ok=True)
+    out_root = Path(out_dir).resolve()
+    out_root.parent.mkdir(parents=True, exist_ok=True)
     if only:
         unknown = sorted(set(only) - {job.name for job in jobs})
         if unknown:
@@ -132,26 +157,42 @@ def run_suite(
             )
         jobs = [job for job in jobs if job.name in set(only)]
     env = _child_env()
-    produced: List[Path] = []
+    staging = Path(
+        tempfile.mkdtemp(prefix=f"{out_root.name}.", dir=str(out_root.parent))
+    )
+    staged: List[Path] = []
     errors: List[str] = []
     for job in jobs:
         script = bench_root / job.script
         if not script.is_file():
             errors.append(f"{job.name}: writer script {script} not found")
             continue
-        artifact = out_root / job.artifact
+        artifact = staging / job.artifact
         command = [sys.executable, str(script), *job.argv, "--out", str(artifact)]
         echo(f"[repro.bench] {job.name}: {' '.join(command)}")
-        result = subprocess.run(command, env=env)
+        result = subprocess.run(command, env=env, capture_output=True, text=True)
+        if result.stdout:
+            echo(result.stdout.rstrip("\n"))
         if result.returncode != 0:
-            errors.append(f"{job.name}: exited with code {result.returncode}")
+            errors.append(
+                _failure_detail(job.name, result.returncode, result.stderr)
+            )
             continue
         if not artifact.is_file():
             errors.append(f"{job.name}: completed but wrote no {artifact}")
             continue
-        produced.append(artifact)
+        staged.append(artifact)
     if errors:
         raise BenchRunError(
-            "benchmark suite failed: " + "; ".join(errors)
+            "benchmark suite failed "
+            f"(no artifacts promoted; staging kept at {staging}): "
+            + "; ".join(errors)
         )
+    out_root.mkdir(parents=True, exist_ok=True)
+    produced: List[Path] = []
+    for artifact in staged:
+        destination = out_root / artifact.name
+        os.replace(artifact, destination)
+        produced.append(destination)
+    shutil.rmtree(staging, ignore_errors=True)
     return produced

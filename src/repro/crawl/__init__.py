@@ -20,12 +20,13 @@ network answers one neighbor-list request, the frontier keeps moving.
 """
 
 from repro.crawl.clock import FakeClock, drive, resolve_latency
-from repro.crawl.crawler import AsyncCrawler, CrawlChunkStats
+from repro.crawl.crawler import CRAWLER_STATE_KEYS, AsyncCrawler, CrawlChunkStats
 from repro.crawl.pipeline import CrawlEpochRecord, CrawlWalkPipeline, PipelineResult
 from repro.crawl.publisher import PublishedTopology, TopologyLease, TopologyPublisher
 
 __all__ = [
     "AsyncCrawler",
+    "CRAWLER_STATE_KEYS",
     "CrawlChunkStats",
     "CrawlEpochRecord",
     "CrawlWalkPipeline",

@@ -113,6 +113,27 @@ class FakeClock:
                 future.set_result(None)
         return True
 
+    def advance_to(self, instant: float) -> None:
+        """Jump straight to *instant* (≥ now), waking any timer due by then.
+
+        The checkpoint-restore hook: a resumed campaign re-anchors a fresh
+        clock at the snapshot's reading so batch-indexed latency scripts,
+        rate-limiter mirrors, and fault-plan time windows continue from
+        the same simulated instant.  Rewinding is refused — virtual time
+        is monotone like real time.
+        """
+        instant = float(instant)
+        if instant < self._now:
+            raise ConfigurationError(
+                f"cannot rewind the clock from {self._now} to {instant}"
+            )
+        self._now = instant
+        self._prune()
+        while self._timers and self._timers[0][0] <= self._now:
+            _, _, future = heapq.heappop(self._timers)
+            if not future.done():
+                future.set_result(None)
+
     def __repr__(self) -> str:
         return f"FakeClock(now={self._now}, pending={self.pending_timers})"
 

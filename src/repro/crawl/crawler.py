@@ -55,8 +55,21 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.crawl.clock import FakeClock, LatencyLike, drive, resolve_latency
-from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.errors import CheckpointError, ConfigurationError, NodeNotFoundError
 from repro.walks.transitions import Node
+
+#: Keys of the resumable-state document (:meth:`AsyncCrawler.state_dict`).
+CRAWLER_STATE_KEYS = frozenset(
+    {
+        "start",
+        "frontier",
+        "enqueued",
+        "rows_fetched",
+        "batches_issued",
+        "failed",
+        "clock_now",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -171,6 +184,68 @@ class AsyncCrawler:
         return len(self._frontier)
 
     # ------------------------------------------------------------------
+    # Resumable state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the crawl's resumable state.
+
+        Captures everything a fresh crawler (constructed with the same
+        configuration over the same API) needs to continue *exactly* where
+        this one stands: the FIFO frontier in order, the BFS visit set,
+        the row/batch counters (the batch counter also indexes the
+        latency script), the failure flag, and the clock reading.  Graph
+        rows are not included — they live in the API's shared
+        :class:`~repro.graphs.discovered.DiscoveredGraph`, which the
+        checkpoint layer snapshots separately.  Call between chunks (no
+        batches in flight); a restored crawl then issues the same batches
+        in the same order as the uninterrupted run.
+        """
+        return {
+            "start": int(self.start),
+            "frontier": [[int(node), int(depth)] for node, depth in self._frontier],
+            "enqueued": sorted(int(node) for node in self._enqueued),
+            "rows_fetched": int(self.rows_fetched),
+            "batches_issued": int(self.batches_issued),
+            "failed": bool(self._failed),
+            "clock_now": float(self.clock.now),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Adopt a :meth:`state_dict` snapshot (inverse operation).
+
+        The crawler must have been constructed with the snapshot's start
+        node; configuration (concurrency, batch size, latency script) is
+        the constructor's job and is not part of the state document.  The
+        clock is advanced (never rewound) to the snapshot's reading, so
+        time-dependent machinery — rate limiters mirrored onto this
+        clock, fault-plan time windows — continues from the same instant.
+        """
+        missing = CRAWLER_STATE_KEYS - set(state)
+        if missing:
+            raise CheckpointError(
+                f"crawler state is missing keys: {sorted(missing)}"
+            )
+        unknown = set(state) - CRAWLER_STATE_KEYS
+        if unknown:
+            raise CheckpointError(
+                f"crawler state has unknown keys: {sorted(unknown)}"
+            )
+        if int(state["start"]) != int(self.start):
+            raise CheckpointError(
+                f"state was captured for start node {state['start']}, "
+                f"but this crawler starts at {self.start}"
+            )
+        self._frontier = deque(
+            (int(node), int(depth)) for node, depth in state["frontier"]
+        )
+        self._enqueued = {int(node) for node in state["enqueued"]}
+        self.rows_fetched = int(state["rows_fetched"])
+        self.batches_issued = int(state["batches_issued"])
+        self._failed = bool(state["failed"])
+        if float(state["clock_now"]) > self.clock.now:
+            self.clock.advance_to(float(state["clock_now"]))
+
+    # ------------------------------------------------------------------
     # Crawling
     # ------------------------------------------------------------------
     def _take_batch(self, room: Optional[int]) -> List[Tuple[Node, int]]:
@@ -214,6 +289,13 @@ class AsyncCrawler:
                 # crawl clock: a drained token bucket must slow the crawl
                 # down, not just advance a counter nobody awaits.
                 waited = limiter.clock.now - before
+                if waited > 0:
+                    await self.clock.sleep(waited)
+            mirror = getattr(self.api, "consume_mirror_wait", None)
+            if mirror is not None:
+                # Same mirror for the resilience/fault wrappers: injected
+                # slow responses and retry backoffs cost campaign time.
+                waited = mirror()
                 if waited > 0:
                     await self.clock.sleep(waited)
             await results.put((sequence, batch, rows))

@@ -54,6 +54,59 @@ class RateLimitExceededError(ReproError):
         self.retry_after = retry_after
 
 
+class TransientAPIError(ReproError):
+    """Raised when the simulated OSN returns a transient (5xx-style) failure.
+
+    Injected by :class:`~repro.faults.FaultyAPI` and retried by
+    :class:`~repro.osn.resilience.ResilientAPI`; nothing was charged for
+    the failed attempt, so a retry repeats the accounting exactly once.
+    """
+
+
+class APITimeoutError(TransientAPIError):
+    """Raised when a simulated OSN call exceeds its per-call timeout.
+
+    A timeout is ambiguous: the request may or may not have reached the
+    network (the fault plan's ``phase`` decides).  Either way the charged
+    API's client-side cache (§2.4) makes the retry idempotent — a lost
+    response was cached server-side-of-the-wrapper, so re-asking is free.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """Raised when a tenant's circuit breaker is open (failing fast).
+
+    After ``threshold`` consecutive failures the
+    :class:`~repro.osn.resilience.ResilientAPI` stops hammering the
+    backend for that tenant until ``reset_seconds`` of virtual time pass.
+    """
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit breaker for tenant {tenant!r} is open; "
+            f"retry after {retry_after:.2f} simulated seconds"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class WorkerCrashError(ReproError):
+    """Raised when a sharded walk round cannot recover from worker deaths.
+
+    The :class:`~repro.walks.parallel.ShardedWalkEngine` respawns its pool
+    and re-executes failed shards transparently; this surfaces only after
+    the bounded retry allowance is exhausted.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised when a service checkpoint cannot be captured or restored.
+
+    Covers schema-version mismatches, documents missing required state,
+    and restore targets whose live state conflicts with the snapshot.
+    """
+
+
 class ConfigurationError(ReproError, ValueError):
     """Raised for invalid algorithm or experiment configuration values."""
 

@@ -51,7 +51,7 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 
 from repro.arrays import sorted_lookup
-from repro.errors import NodeNotFoundError
+from repro.errors import CheckpointError, NodeNotFoundError
 from repro.graphs.csr import CSRGraph
 
 Node = int
@@ -232,6 +232,49 @@ class DiscoveredGraph:
             self._dense = True
             self._slot_table = np.full(1024, -1, dtype=np.int64)
             self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_rows(self) -> Dict[str, object]:
+        """JSON-safe snapshot of every cached row, in insertion order.
+
+        ``rows`` lists ``[node, [neighbors...]]`` pairs in the exact order
+        :meth:`record` first stored them — replaying them through a fresh
+        store reproduces the identical dict order, pool layout, and slot
+        assignment, which is what makes a restored store bit-compatible
+        with the one that was checkpointed.  ``marked`` carries members
+        that arrived via :meth:`mark` only (never fetched, never listed),
+        which a row replay alone could not recover.
+        """
+        with self._lock:
+            rows = [
+                [int(node), [int(n) for n in row]] for node, row in self._rows.items()
+            ]
+            listed: set[Node] = set(self._rows)
+            for row in self._rows.values():
+                listed.update(row)
+            marked = sorted(int(node) for node in self._members - listed)
+            return {"rows": rows, "marked": marked}
+
+    def restore_rows(self, state: Dict[str, object]) -> None:
+        """Replay a :meth:`snapshot_rows` document into this (empty) store.
+
+        Refuses to merge into a non-empty store — a half-restored cache
+        would silently desynchronize the §2.4 accounting that trusts it.
+        """
+        with self._lock:
+            if self._rows or self._members:
+                raise CheckpointError(
+                    f"cannot restore rows into a non-empty store "
+                    f"({self.fetched_count} rows, {self.membership_size} members); "
+                    "restore targets must be freshly constructed"
+                )
+            for node, row in state["rows"]:
+                self.record(int(node), tuple(int(n) for n in row))
+            marked = state.get("marked", ())
+            if marked:
+                self.mark(int(marked[0]), (int(n) for n in marked))
 
     # ------------------------------------------------------------------
     # Scalar lookups (NeighborView over the paid-for region)

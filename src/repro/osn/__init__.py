@@ -10,7 +10,10 @@ that interface over a hidden :class:`~repro.graphs.Graph`:
   "query cost = number of nodes accessed"; unique nodes by default);
 * neighbor-access **restrictions** of the three types of §6.3.1;
 * a token-bucket **rate limiter** on a virtual clock (Twitter's
-  15-requests-per-15-minutes example from §1.1).
+  15-requests-per-15-minutes example from §1.1);
+* a **resilience** layer — :class:`RetryPolicy` backoff with per-tenant
+  circuit breaking (:class:`ResilientAPI`) that keeps the §2.4 accounting
+  exactly-once across retried failures.
 """
 
 from repro.osn.accounting import (
@@ -23,6 +26,12 @@ from repro.osn.accounting import (
 )
 from repro.osn.api import SocialNetworkAPI
 from repro.osn.ratelimit import TokenBucketRateLimiter, VirtualClock
+from repro.osn.resilience import (
+    RETRYABLE_ERRORS,
+    CircuitBreaker,
+    ResilientAPI,
+    RetryPolicy,
+)
 from repro.osn.restrictions import (
     FixedRandomKRestriction,
     NeighborRestriction,
@@ -48,4 +57,8 @@ __all__ = [
     "mark_recapture_degree",
     "TokenBucketRateLimiter",
     "VirtualClock",
+    "RETRYABLE_ERRORS",
+    "CircuitBreaker",
+    "ResilientAPI",
+    "RetryPolicy",
 ]

@@ -155,6 +155,20 @@ class QueryCounter:
             raw_calls=self._raw_calls - since.raw_calls,
         )
 
+    def restore(self, seen, raw_calls: int) -> None:
+        """Adopt a checkpointed state: the seen-id set and raw-call count.
+
+        The inverse of :meth:`state` for the crash-recovery path — a
+        restored counter reports exactly the state the snapshot captured,
+        so repeat lookups of already-paid-for nodes stay free (§2.4)
+        across a service restart.  Replaces whatever the counter held.
+        """
+        if raw_calls < 0:
+            raise ValueError(f"raw_calls must be >= 0, got {raw_calls}")
+        self._seen = {int(node) for node in seen}
+        self._raw_calls = int(raw_calls)
+        self._seen_ids = None
+
     def reset(self) -> None:
         """Forget everything (new measurement epoch)."""
         self._seen.clear()
@@ -260,6 +274,22 @@ class TenantLedger:
     def unattributed(self) -> int:
         """Charge accrued outside any :meth:`attribute` phase."""
         return self.counter.unique_nodes - self.baseline - self.total_attributed()
+
+    def restore(self, baseline: int, charges: Dict[str, int]) -> None:
+        """Adopt a checkpointed ledger state (baseline + per-tenant books).
+
+        The counter must already hold its restored state — the balance
+        invariant is checked against it immediately, so a mismatched pair
+        of snapshots fails loudly at restore time instead of at the next
+        :meth:`assert_balanced`.
+        """
+        if self._open_phase is not None:
+            raise ConfigurationError(
+                "cannot restore a ledger while an attribution phase is open"
+            )
+        self.baseline = int(baseline)
+        self._charges = {str(tenant): int(charge) for tenant, charge in charges.items()}
+        self.assert_balanced()
 
     def assert_balanced(self) -> None:
         """Raise unless every post-baseline charge is booked to a tenant.

@@ -21,7 +21,11 @@ The pieces:
 * :mod:`repro.service.server` — the epoch loop itself plus the optional
   FastAPI adapter (:func:`create_app`);
 * :mod:`repro.service.metrics` — counters, gauges, latency stats, and
-  the background monitor worker's samples.
+  the background monitor worker's samples;
+* :mod:`repro.service.checkpoint` — crash-transparent snapshots: the
+  whole campaign (rows, accounting, job refinement, RNG positions) as
+  one atomic JSON document, resumed bit-identically by
+  :meth:`SamplingService.resume` without re-paying any query.
 
 Everything async runs on the service clock
 (:class:`~repro.crawl.clock.FakeClock` under
@@ -30,6 +34,7 @@ admission, preemption on budget exhaustion, epoch swap under running
 jobs — replays bit for bit.
 """
 
+from repro.service.checkpoint import CHECKPOINT_VERSION
 from repro.service.jobs import (
     Job,
     JobHandle,
@@ -53,6 +58,7 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "SamplingService",
     "ServiceConfig",
     "SERVICE_BACKENDS",

@@ -1,0 +1,256 @@
+"""Service checkpointing: crash-transparent snapshots of a running campaign.
+
+A long multi-tenant campaign accumulates three kinds of state worth real
+money and real time: the **rows** the charged API already paid for (§2.4:
+re-fetching them after a restart would be paying twice for cached data),
+the **accounting** that proves who paid (counter + per-tenant ledger), and
+the **refinement** each job has accumulated (sample values/weights, RNG
+stream positions, partial history).  This module captures all of it as one
+JSON document and rebuilds a :class:`~repro.service.server.SamplingService`
+from it such that the resumed service finishes the campaign **bit-identically**
+to one that never stopped — and, when the crawl had already completed,
+without issuing a single additional unique-node query.
+
+Checkpoints are taken at epoch boundaries (no crawl batches in flight, no
+walk round half-absorbed), which is why every captured structure has an
+exact, replayable meaning: the crawler's FIFO frontier, the scheduler's
+queue and rotation cursor, each RNG's bit-generator state, the discovered
+store's insertion order.  Documents are written through
+:func:`repro.bench.io.atomic_write_json`, so a crash mid-write leaves the
+previous checkpoint intact, never a torn one.
+
+What is *not* captured: the published topology epochs (``/dev/shm`` slabs
+are rebuilt by the first post-resume publish — free, the rows are local)
+and live stream subscriptions (a handle is a connection, not state;
+``partials`` history is preserved, replay is the caller's choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+import numpy as np
+
+from repro.bench.io import atomic_write_json, load_json
+from repro.core.dispatch import EstimationJobSpec
+from repro.errors import CheckpointError
+from repro.service.jobs import Job, JobResult, JobState, PartialEstimate
+
+#: Schema version stamped into every checkpoint document.
+CHECKPOINT_VERSION = 1
+
+#: Top-level keys every version-1 checkpoint document carries.
+CHECKPOINT_KEYS = frozenset(
+    {
+        "version",
+        "config",
+        "start",
+        "clock_now",
+        "rng_state",
+        "job_sequence",
+        "epochs_run",
+        "budget_exhausted",
+        "jobs",
+        "pending",
+        "running",
+        "driver_cursor",
+        "counter",
+        "ledger",
+        "discovered",
+        "crawler",
+    }
+)
+
+
+def _rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """A generator's full bit-generator state (plain ints, JSON-safe)."""
+    return rng.bit_generator.state
+
+
+def _restore_rng(rng: np.random.Generator, state: Mapping[str, Any]) -> None:
+    """Put *rng* exactly where the snapshot left it."""
+    expected = rng.bit_generator.state["bit_generator"]
+    if state.get("bit_generator") != expected:
+        raise CheckpointError(
+            f"checkpoint rng uses bit generator "
+            f"{state.get('bit_generator')!r}, this build uses {expected!r}"
+        )
+    rng.bit_generator.state = dict(state)
+
+
+def _job_document(job: Job) -> Dict[str, Any]:
+    """One job's full resumable state (spec, stream position, samples)."""
+    doc: Dict[str, Any] = {
+        "job_id": job.job_id,
+        "spec": job.spec.to_dict(),
+        "rng_state": _rng_state(job.rng),
+        "state": job.state.value,
+        "rounds": job.rounds,
+        "exhausted_rounds": job.exhausted_rounds,
+        "submitted_at": job.submitted_at,
+        "first_partial_at": job.first_partial_at,
+        "values": [chunk.tolist() for chunk in job._values],
+        "weights": [chunk.tolist() for chunk in job._weights],
+        "partials": [vars(partial) for partial in job.partials],
+        "result": None,
+    }
+    if job.result is not None:
+        result = vars(job.result).copy()
+        result["state"] = job.result.state.value
+        doc["result"] = result
+    return doc
+
+
+def _rebuild_job(doc: Mapping[str, Any]) -> Job:
+    """Inverse of :meth:`_job_document`: a job mid-flight, bit for bit."""
+    job = Job(
+        str(doc["job_id"]),
+        EstimationJobSpec.from_dict(doc["spec"]),
+        np.random.default_rng(),
+    )
+    _restore_rng(job.rng, doc["rng_state"])
+    job.rounds = int(doc["rounds"])
+    job.exhausted_rounds = int(doc["exhausted_rounds"])
+    job.submitted_at = float(doc["submitted_at"])
+    first_partial = doc["first_partial_at"]
+    job.first_partial_at = None if first_partial is None else float(first_partial)
+    for values, weights in zip(doc["values"], doc["weights"]):
+        # absorb() recomputes the sample count and keeps the chunk
+        # boundaries, so current_estimate() concatenates the identical
+        # float64 sequence the original service would have.
+        job.absorb(
+            np.asarray(values, dtype=np.float64),
+            np.asarray(weights, dtype=np.float64),
+        )
+    job.partials = [PartialEstimate(**partial) for partial in doc["partials"]]
+    result = doc["result"]
+    if result is not None:
+        rebuilt = dict(result)
+        rebuilt["state"] = JobState(rebuilt["state"])
+        job.resolve(JobResult(**rebuilt))
+    else:
+        job.state = JobState(doc["state"])
+    return job
+
+
+def capture(service) -> Dict[str, Any]:
+    """Snapshot *service* into a JSON-safe checkpoint document.
+
+    Call at an epoch boundary — between :meth:`SamplingService.step`
+    calls, or from the service's own periodic checkpoint hook — when no
+    crawl batch is in flight.  The document is self-contained modulo the
+    hidden network: resuming needs a fresh charged API over the *same*
+    network, and nothing else.
+    """
+    counter_state = service.api.counter.state()
+    return {
+        "version": CHECKPOINT_VERSION,
+        "config": asdict(service.config),
+        "start": int(service.start),
+        "clock_now": float(service.clock.now),
+        "rng_state": _rng_state(service._rng),
+        "job_sequence": int(service._job_sequence),
+        "epochs_run": int(service.epochs_run),
+        "budget_exhausted": bool(service.budget_exhausted),
+        "jobs": [_job_document(job) for job in service.jobs.values()],
+        "pending": [job.job_id for job in service.scheduler.pending],
+        "running": [job.job_id for job in service.scheduler.running],
+        "driver_cursor": int(service.scheduler._driver_cursor),
+        "counter": {
+            "seen": list(counter_state[0]),
+            "raw_calls": int(counter_state[1]),
+        },
+        "ledger": {
+            "baseline": int(service.ledger.baseline),
+            "charges": service.ledger.charges(),
+        },
+        "discovered": service.api.discovered.snapshot_rows(),
+        "crawler": service.crawler.state_dict(),
+    }
+
+
+def write(service, path: Union[str, Path]) -> Path:
+    """Capture *service* and write the document atomically to *path*.
+
+    Same writer as every benchmark artifact
+    (:func:`repro.bench.io.atomic_write_json`): the document lands whole
+    or not at all, so the previous checkpoint survives a crash mid-write.
+    """
+    return atomic_write_json(path, capture(service))
+
+
+def load(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a checkpoint document from disk."""
+    document = load_json(path)
+    return validate(document)
+
+
+def validate(document: Mapping[str, Any]) -> Dict[str, Any]:
+    """Check a checkpoint document's shape; raise :class:`CheckpointError`."""
+    if not isinstance(document, Mapping):
+        raise CheckpointError(
+            f"checkpoint must be a mapping, got {type(document).__name__}"
+        )
+    version = document.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    missing = CHECKPOINT_KEYS - set(document)
+    if missing:
+        raise CheckpointError(f"checkpoint is missing keys: {sorted(missing)}")
+    unknown = set(document) - CHECKPOINT_KEYS
+    if unknown:
+        raise CheckpointError(f"checkpoint has unknown keys: {sorted(unknown)}")
+    return dict(document)
+
+
+def restore(service, document: Mapping[str, Any]) -> None:
+    """Load a validated *document* into a freshly constructed *service*.
+
+    The service must have been built over an API whose discovered store
+    is empty (the row restore refuses otherwise) and must not have run
+    any epoch or accepted any job yet.  Restore order matters: rows and
+    counter first (the §2.4 cache and its proof of payment), then the
+    ledger (whose balance check reads the counter), then crawler, jobs,
+    and scheduler.
+    """
+    if service.jobs or service.epochs_run:
+        raise CheckpointError(
+            "restore targets must be freshly constructed services "
+            f"(this one has {len(service.jobs)} jobs and "
+            f"{service.epochs_run} epochs run)"
+        )
+    if int(document["start"]) != int(service.start):
+        raise CheckpointError(
+            f"checkpoint was captured for start node {document['start']}, "
+            f"but this service starts at {service.start}"
+        )
+    service.api.discovered.restore_rows(document["discovered"])
+    counter = document["counter"]
+    service.api.counter.restore(counter["seen"], int(counter["raw_calls"]))
+    ledger = document["ledger"]
+    service.ledger.restore(int(ledger["baseline"]), ledger["charges"])
+    service.crawler.restore_state(dict(document["crawler"]))
+    if float(document["clock_now"]) > service.clock.now:
+        service.clock.advance_to(float(document["clock_now"]))
+    _restore_rng(service._rng, document["rng_state"])
+    service._job_sequence = int(document["job_sequence"])
+    service.epochs_run = int(document["epochs_run"])
+    service.budget_exhausted = bool(document["budget_exhausted"])
+    for doc in document["jobs"]:
+        job = _rebuild_job(doc)
+        service.jobs[job.job_id] = job
+    pending: List[str] = list(document["pending"])
+    running: List[str] = list(document["running"])
+    for job_id in pending + running:
+        if job_id not in service.jobs:
+            raise CheckpointError(
+                f"scheduler references unknown job {job_id!r}"
+            )
+    service.scheduler.pending.extend(service.jobs[job_id] for job_id in pending)
+    service.scheduler.running.extend(service.jobs[job_id] for job_id in running)
+    service.scheduler._driver_cursor = int(document["driver_cursor"])

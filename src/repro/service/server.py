@@ -48,8 +48,10 @@ FastAPI when it is installed; the core service has no dependency on it.
 from __future__ import annotations
 
 import asyncio
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -64,6 +66,7 @@ from repro.errors import (
 )
 from repro.osn.accounting import TenantLedger
 from repro.rng import RngLike, ensure_rng, spawn
+from repro.service import checkpoint as checkpoint_module
 from repro.service.jobs import Job, JobHandle, JobResult, JobState, PartialEstimate
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import JobScheduler
@@ -105,6 +108,11 @@ class ServiceConfig:
     n_workers / mp_context:
         Shape of the lazily created persistent walk engine used by
         sharded-backend jobs.
+    checkpoint_path:
+        Where the service writes periodic checkpoints (atomic JSON; see
+        :mod:`repro.service.checkpoint`); ``None`` disables them.
+    checkpoint_every:
+        Epochs between periodic checkpoints when a path is configured.
     """
 
     max_pending: int = 16
@@ -119,6 +127,8 @@ class ServiceConfig:
     monitor_interval: Optional[float] = 1.0
     n_workers: int = 1
     mp_context: str = "fork"
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         for name in (
@@ -130,6 +140,7 @@ class ServiceConfig:
             "max_rounds_per_job",
             "min_partial_samples",
             "n_workers",
+            "checkpoint_every",
         ):
             if getattr(self, name) < 1:
                 raise ConfigurationError(
@@ -209,6 +220,7 @@ class SamplingService:
         self._job_sequence = 0
         self.jobs: Dict[str, Job] = {}
         self.budget_exhausted = False
+        self.epochs_run = 0
         self._serving = False
         self._closed = False
 
@@ -312,6 +324,7 @@ class SamplingService:
                 progressed = await self._epoch()
                 if not progressed:
                     self._preempt_stalled()
+                self._maybe_checkpoint()
                 # One scheduling point per epoch: lets submitters and
                 # monitor interleave at a deterministic boundary.
                 await self.clock.sleep(0)
@@ -336,8 +349,39 @@ class SamplingService:
 
         return drive(self.clock, _main())
 
+    async def step(self) -> bool:
+        """Run exactly one admit→crawl→publish→rounds epoch.
+
+        The externally driven twin of :meth:`serve`'s loop body — an
+        orchestrator (or a checkpoint harness) can interleave epochs with
+        its own work, e.g. ``while service.scheduler.has_work: await
+        service.step(); service.checkpoint(path)``.  Returns whether the
+        epoch made progress; a stalled epoch preempts live jobs exactly
+        as :meth:`serve` would.  Epoch boundaries are the safe
+        checkpoint instants: no crawl batch is in flight and no round is
+        half-absorbed.
+        """
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        if self._serving:
+            raise ConfigurationError("serve() is already running")
+        progressed = await self._epoch()
+        if not progressed and self.scheduler.has_work:
+            self._preempt_stalled()
+        self._maybe_checkpoint()
+        return progressed
+
+    def _maybe_checkpoint(self) -> None:
+        """Write the periodic checkpoint when the config asks for one."""
+        if (
+            self.config.checkpoint_path is not None
+            and self.epochs_run % self.config.checkpoint_every == 0
+        ):
+            checkpoint_module.write(self, self.config.checkpoint_path)
+
     async def _epoch(self) -> bool:
         """One admit→crawl→publish→rounds iteration; False when stalled."""
+        self.epochs_run += 1
         progressed = False
         for job in self.scheduler.admit():
             job.state = JobState.RUNNING
@@ -381,6 +425,11 @@ class SamplingService:
             return False
         rows_before = self.api.discovered.fetched_count
         clock_before = self.clock.now
+        set_tenant = getattr(self.api, "set_tenant", None)
+        if set_tenant is not None:
+            # A resilient API keys its circuit breakers per tenant; point
+            # it at whoever is paying for this chunk.
+            set_tenant(driver.tenant)
         with self.ledger.attribute(driver.tenant):
             try:
                 await self.crawler.crawl_chunk(max_new_rows=rows)
@@ -547,6 +596,59 @@ class SamplingService:
             )
 
     # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: Optional[Union[str, Path]] = None) -> Dict[str, Any]:
+        """Snapshot the campaign; optionally write it atomically to *path*.
+
+        Call at an epoch boundary (between :meth:`step` calls, or after
+        :meth:`serve` returns) — see :mod:`repro.service.checkpoint` for
+        exactly what the document carries.  Returns the document either
+        way.
+        """
+        document = checkpoint_module.capture(self)
+        if path is not None:
+            checkpoint_module.write(self, path)
+        return document
+
+    @classmethod
+    def resume(
+        cls,
+        api,
+        source: Union[str, Path, Mapping[str, Any]],
+        *,
+        clock: Optional[FakeClock] = None,
+        latency: LatencyLike = None,
+    ) -> "SamplingService":
+        """Rebuild a service from a checkpoint, paying zero extra queries.
+
+        *source* is a checkpoint path or an in-memory document from
+        :meth:`checkpoint`; *api* must be a fresh charged API over the
+        same hidden network, its discovered store and counter untouched
+        (both are restored from the snapshot — §2.4 makes every
+        already-paid-for row free again).  The resumed service continues
+        the campaign bit-identically to one that never stopped: same
+        estimates, same partial stream, same counter and ledger state —
+        the pin ``tests/faults/test_service_checkpoint.py`` asserts.
+        *latency* must be the original campaign's script; the restored
+        batch counter keeps its cycle position.
+        """
+        if isinstance(source, (str, Path)):
+            document = checkpoint_module.load(source)
+        else:
+            document = checkpoint_module.validate(source)
+        config = ServiceConfig(**document["config"])
+        service = cls(
+            api,
+            start=int(document["start"]),
+            config=config,
+            clock=clock,
+            latency=latency,
+        )
+        checkpoint_module.restore(service, document)
+        return service
+
+    # ------------------------------------------------------------------
     # Lifetime
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -592,7 +694,9 @@ def create_app(service: SamplingService):
 
     Exposes ``POST /jobs`` (submit an
     :class:`~repro.core.dispatch.EstimationJobSpec` JSON document),
-    ``GET /jobs/{job_id}`` (state + partials), and ``GET /metrics``.
+    ``GET /jobs/{job_id}`` (state + partials), ``GET /jobs/{job_id}/stream``
+    (the recorded partial-estimate stream as NDJSON, terminated by the
+    result once resolved), and ``GET /metrics``.
     The core service never imports FastAPI; environments without it get a
     :class:`~repro.errors.ConfigurationError` here and full functionality
     through :class:`SamplingService` directly.
@@ -638,6 +742,24 @@ def _build_app(fastapi, service: SamplingService):  # pragma: no cover
             result["state"] = job.result.state.value
             body["result"] = result
         return body
+
+    @app.get("/jobs/{job_id}/stream")
+    def stream(job_id: str):
+        from fastapi.responses import StreamingResponse
+
+        job = service.jobs.get(job_id)
+        if job is None:
+            raise fastapi.HTTPException(status_code=404, detail="unknown job")
+
+        def ndjson():
+            for partial in job.partials:
+                yield json.dumps(vars(partial)) + "\n"
+            if job.result is not None:
+                result = vars(job.result).copy()
+                result["state"] = job.result.state.value
+                yield json.dumps({"result": result}) + "\n"
+
+        return StreamingResponse(ndjson(), media_type="application/x-ndjson")
 
     @app.get("/metrics")
     def metrics():

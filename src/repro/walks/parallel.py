@@ -42,6 +42,20 @@ superseded slab alive until the last round holding it completes.  An
 in-flight round is pinned to the spec its tasks carried: a concurrent
 swap never tears it.
 
+**Crash transparency.**  A worker process dying mid-round breaks the
+whole :class:`~concurrent.futures.ProcessPoolExecutor`; the engine treats
+that as a recoverable event.  Completed shards keep their results (and
+their rows, already written at fixed offsets into the output slab);
+:meth:`ShardedWalkEngine.map_shards` respawns the pool and re-executes
+*only* the failed shards.  Because every shard's RNG is an independent
+pickled copy (the parent's generators are never mutated by a submit) and
+row writes are idempotent, the recovered round is bit-identical to a
+crash-free run — the invariant ``tests/faults/test_crash_recovery.py``
+pins, with crashes injected deterministically via
+:meth:`ShardedWalkEngine.schedule_worker_crash`.  Recovery is bounded by
+``max_shard_retries`` respawn cycles per round, after which
+:class:`~repro.errors.WorkerCrashError` surfaces.
+
 **Choosing K and worker count.**  See the ROADMAP's engine table: shard
 width ``K / n_workers`` should stay large enough (≳256) that each worker
 amortizes its per-step NumPy overhead, so prefer fewer workers for small
@@ -54,15 +68,16 @@ from __future__ import annotations
 import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 import multiprocessing
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.shm import CSRSlabSpec, SharedCSR
 from repro.rng import RngLike, ensure_rng, spawn
@@ -131,6 +146,18 @@ def _worker_init(spec: CSRSlabSpec) -> None:
 def _run_shard(spec: CSRSlabSpec, fn: Callable, args: tuple):
     """Trampoline executed in the worker: hand *fn* the task's slab graph."""
     return fn(_ensure_worker_slab(spec).graph, *args)
+
+
+def _crash_shard(csr: CSRGraph, *args) -> int:
+    """Kill the hosting worker process dead — the scheduled-crash payload.
+
+    ``os._exit`` bypasses every cleanup hook, exactly like a SIGKILL'd or
+    OOM'd worker: no rows written, no result returned, the pool breaks.
+    Substituted for a shard's real function by
+    :meth:`ShardedWalkEngine.schedule_worker_crash`; the retry submits
+    the real function, so recovery exercises the genuine path.
+    """
+    os._exit(1)
 
 
 def _write_rows(segment: str, rows: np.ndarray, offset: int, total_rows: int) -> int:
@@ -268,6 +295,7 @@ class ShardedWalkEngine:
             csr = as_csr(graph)
             self._shared = SharedCSR.create(csr)
             self._owns_slab = True
+        self._context = context
         self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
             max_workers=self.n_workers,
             mp_context=context,
@@ -276,6 +304,13 @@ class ShardedWalkEngine:
         )
         self._round_hooks: List[Callable[[RoundEvent], None]] = []
         self._rounds_dispatched = 0
+        #: Respawn cycles allowed per round before giving up.
+        self.max_shard_retries = 2
+        #: Pool respawns performed over the engine's lifetime.
+        self.worker_respawns = 0
+        #: Shard tasks re-executed after a worker death.
+        self.shard_retries = 0
+        self._scheduled_crashes: Set[Tuple[int, int]] = set()
 
     @classmethod
     def from_shared(
@@ -391,6 +426,39 @@ class ShardedWalkEngine:
             return [rng]
         return spawn(rng, shards)
 
+    def schedule_worker_crash(self, round_index: int, shard_index: int) -> None:
+        """Arrange for one shard of one future round to kill its worker.
+
+        Deterministic chaos for the recovery path: when round
+        *round_index* (1-based, matching :attr:`rounds_dispatched` after
+        dispatch) submits shard *shard_index* (0-based), the shard's
+        function is replaced by :func:`_crash_shard`, which ``os._exit``\\ s
+        the hosting process.  The schedule entry is consumed at submit
+        time, so the post-respawn retry runs the real function — the
+        recovered round must be bit-identical to a crash-free one.
+        """
+        if round_index < 1:
+            raise ConfigurationError(
+                f"round_index must be >= 1, got {round_index}"
+            )
+        if shard_index < 0:
+            raise ConfigurationError(
+                f"shard_index must be >= 0, got {shard_index}"
+            )
+        self._scheduled_crashes.add((round_index, shard_index))
+
+    def _respawn_pool(self) -> None:
+        """Replace a broken pool with a fresh one over the current slab."""
+        assert self._pool is not None
+        self._pool.shutdown(wait=True)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=self._context,
+            initializer=_worker_init,
+            initargs=(self._shared.spec,),
+        )
+        self.worker_respawns += 1
+
     def map_shards(self, fn: Callable, per_shard_args: Sequence[tuple]) -> list:
         """Run ``fn(csr, *args)`` in the pool, one task per shard, in order.
 
@@ -398,23 +466,64 @@ class ShardedWalkEngine:
         be a picklable module-level function whose first parameter is the
         worker's attached :class:`CSRGraph`; results come back in
         submission order.
+
+        A worker death mid-round (detected as the executor's broken-pool
+        failure) is recovered transparently: shards whose futures already
+        settled keep their results, the pool is respawned, and only the
+        failed shards are resubmitted — with the *same* pickled arguments,
+        so the retry consumes the same RNG stream and writes the same
+        rows.  After :attr:`max_shard_retries` respawn cycles the round
+        surfaces :class:`~repro.errors.WorkerCrashError`.
         """
         if self._pool is None:
             raise ConfigurationError("engine is closed")
         spec = self._shared.spec
         self._rounds_dispatched += 1
+        round_index = self._rounds_dispatched
         if self._round_hooks:
             event = RoundEvent(
-                round_index=self._rounds_dispatched,
+                round_index=round_index,
                 shards=len(per_shard_args),
                 segment=spec.segment,
             )
             for hook in list(self._round_hooks):
                 hook(event)
-        futures = [
-            self._pool.submit(_run_shard, spec, fn, args) for args in per_shard_args
-        ]
-        return [future.result() for future in futures]
+        results: list = [None] * len(per_shard_args)
+        pending = list(range(len(per_shard_args)))
+        cycles = 0
+        while pending:
+            submitted = []
+            for index in pending:
+                task_fn = fn
+                if (round_index, index) in self._scheduled_crashes:
+                    self._scheduled_crashes.discard((round_index, index))
+                    task_fn = _crash_shard
+                submitted.append(
+                    (
+                        index,
+                        self._pool.submit(
+                            _run_shard, spec, task_fn, per_shard_args[index]
+                        ),
+                    )
+                )
+            failed: List[int] = []
+            for index, future in submitted:
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    failed.append(index)
+            if not failed:
+                break
+            cycles += 1
+            if cycles > self.max_shard_retries:
+                raise WorkerCrashError(
+                    f"round {round_index}: {len(failed)} shard(s) still failing "
+                    f"after {self.max_shard_retries} pool respawn(s)"
+                )
+            self._respawn_pool()
+            self.shard_retries += len(failed)
+            pending = failed
+        return results
 
     def _gather_paths(
         self,

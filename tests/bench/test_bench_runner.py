@@ -19,6 +19,7 @@ from repro.bench.runner import _child_env
 STUB_WRITER = textwrap.dedent(
     """
     import argparse
+    import sys
 
     from repro.bench import write_artifact
 
@@ -28,6 +29,7 @@ STUB_WRITER = textwrap.dedent(
     parser.add_argument("--fail", action="store_true")
     args = parser.parse_args()
     if args.fail:
+        print("stub writer exploded deterministically", file=sys.stderr)
         raise SystemExit(3)
     record = {"benchmark": "stub", "value": 41 + int(args.quick)}
     write_artifact(record, args.out, scale="smoke" if args.quick else "full")
@@ -72,12 +74,41 @@ class TestRunSuite:
         with pytest.raises(BenchRunError, match="stub: exited with code 3"):
             run_suite(jobs, tmp_path / "r", bench_dir=bench_dir, echo=lambda _: None)
 
-    def test_one_failure_does_not_hide_other_artifacts(self, bench_dir, tmp_path):
+    def test_failure_reports_writer_name_and_stderr(self, bench_dir, tmp_path):
+        jobs = [_job(argv=("--fail",))]
+        with pytest.raises(BenchRunError) as excinfo:
+            run_suite(jobs, tmp_path / "r", bench_dir=bench_dir, echo=lambda _: None)
+        message = str(excinfo.value)
+        assert "stub: exited with code 3" in message
+        assert "stub writer exploded deterministically" in message
+
+    def test_failure_leaves_no_partial_output_directory(self, bench_dir, tmp_path):
         out = tmp_path / "results"
         jobs = [_job(argv=("--fail",)), _job(name="ok", artifact="BENCH_ok.json")]
-        with pytest.raises(BenchRunError):
+        with pytest.raises(BenchRunError) as excinfo:
             run_suite(jobs, out, bench_dir=bench_dir, echo=lambda _: None)
-        assert (out / "BENCH_ok.json").is_file()  # partials stay for inspection
+        # The output directory is untouched — `check` can never mistake a
+        # failed run for a clean one.
+        assert not out.exists()
+        # The staged artifact of the successful writer survives for
+        # inspection, at the path named in the error.
+        staging = [p for p in tmp_path.glob("results.*") if p.is_dir()]
+        assert len(staging) == 1
+        assert str(staging[0]) in str(excinfo.value)
+        assert (staging[0] / "BENCH_ok.json").is_file()
+
+    def test_failure_preserves_previous_results(self, bench_dir, tmp_path):
+        out = tmp_path / "results"
+        run_suite([_job()], out, bench_dir=bench_dir, echo=lambda _: None)
+        before = (out / "BENCH_stub.json").read_bytes()
+        with pytest.raises(BenchRunError):
+            run_suite(
+                [_job(argv=("--fail",))],
+                out,
+                bench_dir=bench_dir,
+                echo=lambda _: None,
+            )
+        assert (out / "BENCH_stub.json").read_bytes() == before
 
     def test_missing_script_raises(self, tmp_path):
         (tmp_path / "benchmarks").mkdir()
@@ -111,13 +142,14 @@ class TestRunSuite:
 
 
 class TestPinnedSuites:
-    def test_smoke_and_full_cover_the_five_artifacts(self):
+    def test_smoke_and_full_cover_the_six_artifacts(self):
         expected = {
             "BENCH_throughput.json",
             "BENCH_querycost.json",
             "BENCH_parallel.json",
             "BENCH_asynccrawl.json",
             "BENCH_service.json",
+            "BENCH_faults.json",
         }
         assert set(suite_artifacts("smoke")) == expected
         assert set(suite_artifacts("full")) == expected

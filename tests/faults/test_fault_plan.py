@@ -1,0 +1,155 @@
+"""FaultPlan / FaultRule: validation, matching, jitter, JSON round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FAULT_KINDS, FaultPlan, FaultRule
+
+
+class TestRuleValidation:
+    def test_valid_kinds_only(self):
+        for kind in FAULT_KINDS:
+            FaultRule(kind=kind)
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultRule(kind="meteor")
+
+    def test_phase_and_op_validated(self):
+        with pytest.raises(ConfigurationError, match="unknown fault phase"):
+            FaultRule(kind="error", phase="during")
+        with pytest.raises(ConfigurationError, match="unknown fault op"):
+            FaultRule(kind="error", op="attributes")
+
+    def test_call_window_validated(self):
+        with pytest.raises(ConfigurationError, match="first_call"):
+            FaultRule(kind="error", first_call=-1)
+        with pytest.raises(ConfigurationError, match="last_call"):
+            FaultRule(kind="error", first_call=5, last_call=4)
+
+    def test_delay_and_jitter_validated(self):
+        with pytest.raises(ConfigurationError, match="delay"):
+            FaultRule(kind="slow", delay=-0.5)
+        with pytest.raises(ConfigurationError, match="jitter"):
+            FaultRule(kind="slow", delay=1.0, jitter=1.0)
+
+    def test_time_window_validated(self):
+        with pytest.raises(ConfigurationError, match="before_time"):
+            FaultRule(kind="error", after_time=10.0, before_time=10.0)
+
+    def test_rules_must_be_fault_rules(self):
+        with pytest.raises(ConfigurationError, match="FaultRule"):
+            FaultPlan(rules=({"kind": "error"},))
+
+
+class TestMatching:
+    def test_call_window_is_inclusive(self):
+        rule = FaultRule(kind="error", first_call=2, last_call=4)
+        assert not rule.matches(1, "neighbors", 0.0)
+        assert rule.matches(2, "neighbors", 0.0)
+        assert rule.matches(4, "neighbors", 0.0)
+        assert not rule.matches(5, "neighbors", 0.0)
+
+    def test_open_ended_window(self):
+        rule = FaultRule(kind="error", first_call=3)
+        assert rule.matches(3_000_000, "degrees", 0.0)
+
+    def test_op_filter(self):
+        rule = FaultRule(kind="error", op="neighbors")
+        assert rule.matches(0, "neighbors", 0.0)
+        assert not rule.matches(0, "degrees", 0.0)
+
+    def test_time_window_is_half_open(self):
+        rule = FaultRule(kind="error", after_time=5.0, before_time=10.0)
+        assert not rule.matches(0, "neighbors", 4.99)
+        assert rule.matches(0, "neighbors", 5.0)
+        assert not rule.matches(0, "neighbors", 10.0)
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind="timeout", first_call=0, last_call=0),
+                FaultRule(kind="error", first_call=0, last_call=9),
+            )
+        )
+        assert plan.resolve(0, "neighbors", 0.0).kind == "timeout"
+        assert plan.resolve(1, "neighbors", 0.0).kind == "error"
+        assert plan.resolve(10, "neighbors", 0.0) is None
+
+    def test_resolved_fault_carries_rule_index(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind="slow", op="degrees", delay=2.0),
+                FaultRule(kind="error"),
+            )
+        )
+        assert plan.resolve(0, "degrees", 0.0).rule_index == 0
+        assert plan.resolve(0, "neighbors", 0.0).rule_index == 1
+
+
+class TestJitter:
+    def test_jittered_rule_requires_rng(self):
+        plan = FaultPlan(rules=(FaultRule(kind="slow", delay=4.0, jitter=0.5),))
+        with pytest.raises(ConfigurationError, match="rng"):
+            plan.resolve(0, "neighbors", 0.0)
+
+    def test_jitter_perturbs_within_band_and_is_deterministic(self):
+        plan = FaultPlan(rules=(FaultRule(kind="slow", delay=4.0, jitter=0.5),))
+
+        def delays(seed):
+            rng = np.random.default_rng(seed)
+            return [plan.resolve(i, "neighbors", 0.0, rng).delay for i in range(20)]
+
+        first = delays(7)
+        assert delays(7) == first
+        assert delays(8) != first
+        assert all(2.0 <= d <= 6.0 for d in first)
+
+    def test_zero_jitter_never_touches_the_stream(self):
+        plan = FaultPlan(rules=(FaultRule(kind="slow", delay=4.0),))
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        assert plan.resolve(0, "neighbors", 0.0, rng).delay == 4.0
+        assert rng.bit_generator.state == before
+
+
+class TestSerialization:
+    def _plan(self):
+        return FaultPlan(
+            rules=(
+                FaultRule(kind="timeout", first_call=1, last_call=3, op="neighbors"),
+                FaultRule(kind="rate_limit", delay=30.0, phase="before"),
+                FaultRule(
+                    kind="slow",
+                    delay=2.5,
+                    jitter=0.25,
+                    after_time=10.0,
+                    before_time=90.0,
+                ),
+            ),
+            seed=11,
+        )
+
+    def test_json_round_trip_is_identity(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown FaultRule keys"):
+            FaultRule.from_dict({"kind": "error", "severity": 9})
+        with pytest.raises(ConfigurationError, match="unknown FaultPlan keys"):
+            FaultPlan.from_dict({"rules": [], "chaos_level": "max"})
+
+    def test_malformed_documents_rejected(self):
+        with pytest.raises(ConfigurationError, match="object"):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(ConfigurationError, match="list of rule mappings"):
+            FaultPlan.from_dict({"rules": "error"})
+        with pytest.raises(ConfigurationError, match="mapping"):
+            FaultPlan.from_dict({"rules": [3]})
+
+    def test_with_overrides_revalidates(self):
+        plan = self._plan()
+        assert plan.with_overrides(seed=99).seed == 99
+        with pytest.raises(ConfigurationError):
+            plan.with_overrides(rules=({"kind": "error"},))

@@ -1,0 +1,139 @@
+"""FaultyAPI: scripted failures with §2.4-exact accounting.
+
+The charging invariants live here: a ``before``-phase fault charges
+nothing, an ``after``-phase fault charges-and-caches so the retry is a
+free cache hit, and ``slow`` costs simulated time but never money.
+"""
+
+import pytest
+
+from repro.crawl.clock import FakeClock
+from repro.errors import (
+    APITimeoutError,
+    RateLimitExceededError,
+    TransientAPIError,
+)
+from repro.faults import FaultPlan, FaultRule, FaultyAPI
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.api import SocialNetworkAPI
+
+
+@pytest.fixture(scope="module")
+def hidden():
+    return barabasi_albert_graph(60, 3, seed=17).relabeled()
+
+
+def wrap(hidden, *rules, seed=0, clock=None):
+    api = SocialNetworkAPI(hidden)
+    return FaultyAPI(api, FaultPlan(rules=tuple(rules), seed=seed), clock=clock)
+
+
+class TestChargingPhases:
+    def test_before_phase_fault_charges_nothing(self, hidden):
+        faulty = wrap(hidden, FaultRule(kind="error", first_call=0, last_call=0))
+        with pytest.raises(TransientAPIError):
+            faulty.neighbors_batch([0, 1, 2])
+        assert faulty.query_cost == 0
+        assert faulty.raw_calls == 0
+        assert not faulty.discovered.has_row(0)
+
+    def test_after_phase_fault_charges_once_and_retry_is_free(self, hidden):
+        faulty = wrap(
+            hidden,
+            FaultRule(kind="error", phase="after", first_call=0, last_call=0),
+        )
+        with pytest.raises(TransientAPIError):
+            faulty.neighbors_batch([0, 1, 2])
+        # The backend processed the batch before the response was lost.
+        charged = faulty.query_cost
+        assert charged == 3
+        assert faulty.discovered.has_row(0)
+        # The retry settles from cache: same rows, not one extra charge.
+        rows = faulty.neighbors_batch([0, 1, 2])
+        assert faulty.query_cost == charged
+        assert [list(r) for r in rows] == [
+            list(faulty.discovered.neighbors(n)) for n in (0, 1, 2)
+        ]
+
+    def test_slow_fault_completes_and_accrues_mirror_wait(self, hidden):
+        faulty = wrap(
+            hidden, FaultRule(kind="slow", delay=2.5, first_call=0, last_call=1)
+        )
+        faulty.neighbors_batch([0])
+        faulty.degrees_batch([1])
+        faulty.neighbors_batch([2])  # past the window: no extra wait
+        assert faulty.query_cost == 3
+        assert faulty.consume_mirror_wait() == pytest.approx(5.0)
+        # The channel drains: a second read is zero.
+        assert faulty.consume_mirror_wait() == 0.0
+
+
+class TestFaultKinds:
+    def test_timeout_and_rate_limit_exceptions(self, hidden):
+        faulty = wrap(
+            hidden,
+            FaultRule(kind="timeout", first_call=0, last_call=0),
+            FaultRule(kind="rate_limit", delay=45.0, first_call=1, last_call=1),
+        )
+        with pytest.raises(APITimeoutError):
+            faulty.neighbors_batch([0])
+        with pytest.raises(RateLimitExceededError) as excinfo:
+            faulty.neighbors_batch([0])
+        assert excinfo.value.retry_after == pytest.approx(45.0)
+
+    def test_every_attempt_counts_toward_the_call_index(self, hidden):
+        # A storm over calls 0-2 clears exactly because retries re-enter
+        # the wrapper under fresh indices.
+        faulty = wrap(hidden, FaultRule(kind="error", first_call=0, last_call=2))
+        for _ in range(3):
+            with pytest.raises(TransientAPIError):
+                faulty.neighbors_batch([0])
+        assert faulty.neighbors_batch([0]) is not None
+        assert faulty.calls == 4
+        assert faulty.injected == {"error": 3}
+        assert [index for index, _, _ in faulty.history] == [0, 1, 2]
+
+    def test_time_windowed_rule_reads_the_bound_clock(self, hidden):
+        clock = FakeClock()
+        faulty = wrap(
+            hidden,
+            FaultRule(kind="error", after_time=10.0),
+            clock=clock,
+        )
+        faulty.neighbors_batch([0])  # t=0: window not yet open
+        clock.advance_to(10.0)
+        with pytest.raises(TransientAPIError):
+            faulty.neighbors_batch([1])
+
+
+class TestDelegation:
+    def test_scalar_surface_and_metadata_pass_through(self, hidden):
+        faulty = wrap(hidden, FaultRule(kind="error"))
+        # Fault rules cover the batch grain only.
+        assert faulty.degree(0) == len(list(faulty.neighbors(0)))
+        assert faulty.has_node(0)
+        assert faulty.cacheable
+        assert faulty.counter is faulty.api.counter
+        assert faulty.budget is faulty.api.budget
+        assert faulty.rate_limiter is faulty.api.rate_limiter
+        assert "FaultyAPI" in repr(faulty)
+
+    def test_replay_from_serialized_plan_is_bit_identical(self, hidden):
+        rules = (
+            FaultRule(kind="error", first_call=1, last_call=2),
+            FaultRule(kind="slow", delay=3.0, jitter=0.4, first_call=4),
+        )
+        plan = FaultPlan(rules=rules, seed=23)
+
+        def campaign(p):
+            faulty = FaultyAPI(SocialNetworkAPI(hidden), p)
+            waits = []
+            for index in range(8):
+                try:
+                    faulty.neighbors_batch([index % 4])
+                except TransientAPIError:
+                    pass
+                waits.append(faulty.consume_mirror_wait())
+            return waits, faulty.injected, faulty.history, faulty.query_cost
+
+        assert campaign(plan) == campaign(FaultPlan.from_json(plan.to_json()))

@@ -1,0 +1,227 @@
+"""service.checkpoint: crash-transparent snapshots of a running campaign.
+
+The §2.4 pin: a service resumed from a checkpoint finishes the campaign
+bit-identically to one that never stopped, and re-pays not a single
+unique-node query for the rows the checkpoint carried.
+"""
+
+import json
+
+import pytest
+
+from repro.core import EngineConfig, EstimationJobSpec, WalkEstimateConfig
+from repro.crawl.clock import drive
+from repro.errors import CheckpointError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.api import SocialNetworkAPI
+from repro.service import CHECKPOINT_VERSION, SamplingService, ServiceConfig
+from repro.service import checkpoint as checkpoint_module
+
+LATENCY = [1.0, 0.25, 0.5, 2.0, 0.75]
+
+WALK = WalkEstimateConfig(
+    walk_length=5,
+    crawl_hops=0,
+    backward_repetitions=3,
+    refine_repetitions=0,
+    calibration_walks=4,
+)
+
+
+@pytest.fixture(scope="module")
+def hidden():
+    return barabasi_albert_graph(200, 4, seed=9).relabeled()
+
+
+def job_spec(tenant, budget=120):
+    return EstimationJobSpec(
+        tenant=tenant,
+        query_budget=budget,
+        error_target=0.8,
+        design="srw",
+        samples=30,
+        walk=WALK,
+        engine=EngineConfig(backend="batch"),
+    )
+
+
+def make_service(hidden, *, config=None):
+    api = SocialNetworkAPI(hidden)
+    return SamplingService(
+        api,
+        0,
+        config=config if config is not None else ServiceConfig(rows_per_epoch=30),
+        latency=LATENCY,
+        seed=5,
+    )
+
+
+def step(service):
+    return drive(service.clock, service.step())
+
+
+def finish(service):
+    while service.scheduler.has_work:
+        step(service)
+
+
+def result_fingerprint(result):
+    return (
+        result.job_id,
+        result.tenant,
+        result.state.value,
+        result.estimate,
+        result.stderr,
+        result.samples,
+        result.rounds,
+        result.query_cost,
+        result.met_target,
+        result.reason,
+        result.clock_seconds,
+    )
+
+
+def campaign_fingerprint(service):
+    return (
+        [
+            result_fingerprint(job.result)
+            for _, job in sorted(service.jobs.items())
+            if job.result is not None
+        ],
+        service.api.counter.state(),
+        service.ledger.charges(),
+    )
+
+
+class TestResumeParity:
+    def test_resumed_campaign_is_bit_identical_and_repays_nothing(self, hidden):
+        # Reference: the same two-tenant campaign, never interrupted.
+        with make_service(hidden) as reference:
+            reference.run([job_spec("alice"), job_spec("bob")])
+            expected = campaign_fingerprint(reference)
+
+        # Interrupted: two epochs, checkpoint, "crash".
+        with make_service(hidden) as service:
+            service.submit_nowait(job_spec("alice"))
+            service.submit_nowait(job_spec("bob"))
+            step(service)
+            step(service)
+            document = json.loads(json.dumps(service.checkpoint()))
+            cost_at_checkpoint = service.api.query_cost
+
+        # A fresh process: a new API over the same hidden network.
+        resumed = SamplingService.resume(
+            SocialNetworkAPI(hidden), document, latency=LATENCY
+        )
+        try:
+            # Every row the checkpoint carried is already paid for.
+            assert resumed.api.query_cost == cost_at_checkpoint
+            assert resumed.epochs_run == 2
+            resumed.ledger.assert_balanced()
+            finish(resumed)
+            assert campaign_fingerprint(resumed) == expected
+            resumed.ledger.assert_balanced()
+        finally:
+            resumed.close()
+
+    def test_checkpoint_write_load_round_trip(self, hidden, tmp_path):
+        path = tmp_path / "service.ckpt.json"
+        with make_service(hidden) as service:
+            service.submit_nowait(job_spec("alice"))
+            step(service)
+            document = service.checkpoint(path)
+            assert path.is_file()
+            assert checkpoint_module.load(path) == json.loads(json.dumps(document))
+
+        resumed = SamplingService.resume(
+            SocialNetworkAPI(hidden), path, latency=LATENCY
+        )
+        try:
+            finish(resumed)
+            assert resumed.jobs["job-1"].result is not None
+        finally:
+            resumed.close()
+
+    def test_periodic_checkpoints_during_serve(self, hidden, tmp_path):
+        path = tmp_path / "auto.ckpt.json"
+        config = ServiceConfig(
+            rows_per_epoch=30,
+            checkpoint_path=str(path),
+            checkpoint_every=2,
+        )
+        with make_service(hidden, config=config) as service:
+            service.run([job_spec("alice")])
+            assert service.epochs_run >= 2
+            document = checkpoint_module.load(path)
+        # The last auto-checkpoint is a valid resume source.
+        resumed = SamplingService.resume(
+            SocialNetworkAPI(hidden), document, latency=LATENCY
+        )
+        try:
+            finish(resumed)
+        finally:
+            resumed.close()
+
+
+class TestValidation:
+    def _document(self, hidden):
+        with make_service(hidden) as service:
+            service.submit_nowait(job_spec("alice"))
+            step(service)
+            return service.checkpoint()
+
+    def test_version_and_keys_checked(self, hidden):
+        document = self._document(hidden)
+        assert document["version"] == CHECKPOINT_VERSION
+        with pytest.raises(CheckpointError, match="version"):
+            checkpoint_module.validate({**document, "version": 99})
+        with pytest.raises(CheckpointError, match="missing keys"):
+            checkpoint_module.validate(
+                {k: v for k, v in document.items() if k != "counter"}
+            )
+        with pytest.raises(CheckpointError, match="unknown keys"):
+            checkpoint_module.validate({**document, "extra": 1})
+        with pytest.raises(CheckpointError, match="mapping"):
+            checkpoint_module.validate([1, 2])
+
+    def test_restore_refuses_used_service_and_wrong_start(self, hidden):
+        document = self._document(hidden)
+        with make_service(hidden) as used:
+            used.run([job_spec("carol")])
+            with pytest.raises(CheckpointError, match="freshly constructed"):
+                checkpoint_module.restore(used, document)
+        api = SocialNetworkAPI(hidden)
+        other = SamplingService(
+            api, 1, config=ServiceConfig(rows_per_epoch=30), latency=LATENCY
+        )
+        try:
+            with pytest.raises(CheckpointError, match="start node"):
+                checkpoint_module.restore(other, document)
+        finally:
+            other.close()
+
+    def test_restore_refuses_foreign_rng_and_bad_scheduler_refs(self, hidden):
+        document = self._document(hidden)
+        corrupted = dict(document)
+        corrupted["rng_state"] = {
+            **document["rng_state"],
+            "bit_generator": "MT19937",
+        }
+        fresh = make_service(hidden)
+        try:
+            with pytest.raises(CheckpointError, match="bit generator"):
+                checkpoint_module.restore(fresh, corrupted)
+        finally:
+            fresh.close()
+        dangling = dict(document)
+        dangling["pending"] = list(document["pending"]) + ["job-999"]
+        fresh = make_service(hidden)
+        try:
+            with pytest.raises(CheckpointError, match="unknown job"):
+                checkpoint_module.restore(fresh, dangling)
+        finally:
+            fresh.close()
+
+    def test_checkpoint_every_validated(self):
+        with pytest.raises(Exception):
+            ServiceConfig(checkpoint_every=0)

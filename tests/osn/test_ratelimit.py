@@ -1,6 +1,10 @@
 """Token-bucket rate limiter on the virtual clock."""
 
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, RateLimitExceededError
 from repro.osn.ratelimit import TokenBucketRateLimiter, VirtualClock
@@ -76,3 +80,93 @@ def test_configuration_validation():
         TokenBucketRateLimiter(capacity=0, period_seconds=10)
     with pytest.raises(ConfigurationError):
         TokenBucketRateLimiter(capacity=1, period_seconds=0)
+
+
+# ----------------------------------------------------------------------
+# Property tests: the batch API is exactly N sequential acquires
+# ----------------------------------------------------------------------
+
+#: One interleaving step: drain a batch, drain singly, or let time pass.
+_EVENTS = st.lists(
+    st.one_of(
+        st.tuples(st.just("many"), st.integers(min_value=0, max_value=40)),
+        st.tuples(st.just("one"), st.integers(min_value=1, max_value=8)),
+        st.tuples(
+            st.just("advance"),
+            st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        ),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestBatchAcquireProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=25),
+        period=st.floats(min_value=0.5, max_value=1800.0, allow_nan=False),
+        events=_EVENTS,
+    )
+    def test_many_matches_sequential_acquires_under_interleaving(
+        self, capacity, period, events
+    ):
+        """acquire_or_wait_many(n) ≡ n× acquire_or_wait, at every step.
+
+        Two limiters see the same interleaving of drains and idle time;
+        one settles each drain as a batch, the other one token at a time.
+        Their mirrored waits, clocks, and token levels must never diverge.
+        """
+        batch_clock, serial_clock = VirtualClock(), VirtualClock()
+        batched = TokenBucketRateLimiter(capacity, period, clock=batch_clock)
+        serial = TokenBucketRateLimiter(capacity, period, clock=serial_clock)
+        for kind, value in events:
+            if kind == "advance":
+                batch_clock.advance(value)
+                serial_clock.advance(value)
+                continue
+            count = int(value)
+            batch_wait = batched.acquire_or_wait_many(count)
+            serial_wait = sum(
+                serial.acquire_or_wait() for _ in range(count)
+            )
+            assert _close(batch_wait, serial_wait)
+            assert _close(batch_clock.now, serial_clock.now)
+            assert _close(batched.tokens, serial.tokens)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=25),
+        period=st.floats(min_value=0.5, max_value=1800.0, allow_nan=False),
+        events=_EVENTS,
+    )
+    def test_never_over_grants(self, capacity, period, events):
+        """Total tokens granted never exceed capacity + elapsed × rate.
+
+        The token-bucket contract: at any observable moment the bucket
+        has handed out at most its initial burst plus what the refill
+        rate has produced since the start, and the live token level
+        never goes negative.
+        """
+        clock = VirtualClock()
+        limiter = TokenBucketRateLimiter(capacity, period, clock=clock)
+        granted = 0
+        for kind, value in events:
+            if kind == "advance":
+                clock.advance(value)
+                continue
+            count = int(value)
+            if kind == "many":
+                limiter.acquire_or_wait_many(count)
+                granted += count
+            else:
+                for _ in range(count):
+                    limiter.acquire_or_wait()
+                    granted += 1
+            budget = capacity + clock.now * limiter.refill_rate
+            assert granted <= budget + 1e-6 * max(1.0, budget)
+            assert limiter.tokens >= -1e-9

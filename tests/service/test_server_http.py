@@ -1,0 +1,147 @@
+"""The FastAPI adapter, end to end through a real test client.
+
+These tests only run where the ``.[service]`` extra is installed
+(fastapi + httpx); the core test suite never needs either.  The adapter
+is a thin mapping over :class:`SamplingService`, so every route is
+exercised against a service that has genuinely run a campaign on the
+FakeClock — the HTTP layer adds serialization, not behavior.
+"""
+
+import json
+
+import pytest
+
+fastapi = pytest.importorskip("fastapi")
+pytest.importorskip("httpx")
+
+from fastapi.testclient import TestClient  # noqa: E402
+
+from repro.core import EngineConfig, EstimationJobSpec, WalkEstimateConfig
+from repro.graphs.generators import barabasi_albert_graph
+from repro.osn.api import SocialNetworkAPI
+from repro.service import JobState, SamplingService, ServiceConfig, create_app
+
+LATENCY = [1.0, 0.25, 0.5, 2.0, 0.75]
+
+WALK = WalkEstimateConfig(
+    walk_length=5,
+    crawl_hops=0,
+    backward_repetitions=3,
+    refine_repetitions=0,
+    calibration_walks=4,
+)
+
+
+@pytest.fixture(scope="module")
+def hidden():
+    return barabasi_albert_graph(200, 4, seed=9).relabeled()
+
+
+@pytest.fixture
+def service(hidden):
+    api = SocialNetworkAPI(hidden)
+    with SamplingService(
+        api,
+        0,
+        config=ServiceConfig(rows_per_epoch=30),
+        latency=LATENCY,
+        seed=5,
+    ) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    return TestClient(create_app(service))
+
+
+def spec_document(tenant, budget=120):
+    return EstimationJobSpec(
+        tenant=tenant,
+        query_budget=budget,
+        error_target=0.8,
+        design="srw",
+        samples=30,
+        walk=WALK,
+        engine=EngineConfig(backend="batch"),
+    ).to_dict()
+
+
+class TestSubmitRoute:
+    def test_submit_returns_job_id_and_state(self, client):
+        response = client.post("/jobs", json=spec_document("alice"))
+        assert response.status_code == 200
+        body = response.json()
+        assert body["job_id"]
+        assert body["state"] == JobState.PENDING.value
+
+    def test_invalid_spec_is_422(self, client):
+        bad = spec_document("alice")
+        bad["design"] = "teleport"
+        response = client.post("/jobs", json=bad)
+        assert response.status_code == 422
+
+    def test_admission_backpressure_is_429(self, hidden):
+        api = SocialNetworkAPI(hidden)
+        with SamplingService(
+            api,
+            0,
+            config=ServiceConfig(
+                rows_per_epoch=30, max_pending=1, max_running=1
+            ),
+            latency=LATENCY,
+            seed=5,
+        ) as svc:
+            client = TestClient(create_app(svc))
+            codes = [
+                client.post("/jobs", json=spec_document(f"t{i}")).status_code
+                for i in range(4)
+            ]
+            assert codes[0] == 200
+            assert 429 in codes
+
+
+class TestStatusAndStreamRoutes:
+    def test_unknown_job_is_404(self, client):
+        assert client.get("/jobs/nope").status_code == 404
+        assert client.get("/jobs/nope/stream").status_code == 404
+
+    def test_status_reflects_completed_campaign(self, service, client):
+        job_id = client.post("/jobs", json=spec_document("alice")).json()["job_id"]
+        service.run([])  # drain the already-submitted job
+        body = client.get(f"/jobs/{job_id}").json()
+        assert body["state"] == JobState.COMPLETED.value
+        assert body["tenant"] == "alice"
+        assert body["rounds"] >= 1
+        assert len(body["partials"]) == body["rounds"]
+        assert body["result"]["estimate"] == pytest.approx(
+            service.jobs[job_id].result.estimate
+        )
+
+    def test_stream_replays_partials_as_ndjson(self, service, client):
+        job_id = client.post("/jobs", json=spec_document("alice")).json()["job_id"]
+        service.run([])
+        response = client.get(f"/jobs/{job_id}/stream")
+        assert response.status_code == 200
+        assert response.headers["content-type"].startswith(
+            "application/x-ndjson"
+        )
+        lines = [json.loads(line) for line in response.text.splitlines()]
+        job = service.jobs[job_id]
+        # One line per recorded partial, in stream order, then the result.
+        assert len(lines) == len(job.partials) + 1
+        for line, partial in zip(lines, job.partials):
+            assert line == vars(partial)
+        assert lines[-1]["result"]["state"] == JobState.COMPLETED.value
+        assert lines[-1]["result"]["estimate"] == pytest.approx(
+            job.result.estimate
+        )
+
+
+class TestMetricsRoute:
+    def test_metrics_snapshot_round_trips(self, service, client):
+        client.post("/jobs", json=spec_document("alice"))
+        service.run([])
+        body = client.get("/metrics").json()
+        assert body == json.loads(json.dumps(service.metrics.snapshot()))
+        assert body["jobs_completed"] == 1
