@@ -19,17 +19,21 @@ core-limited CI runner the curve flattens at the core count — interpret
 the committed artifact against its recorded host, not the ideal.
 
 ``--quick`` shrinks the budget for smoke runs; ``--workers`` picks the
-sweep (CI smoke uses ``--workers 1 2``).
+sweep (CI smoke uses ``--workers 1 2``); ``--slab-storage file`` times the
+sharded rows over an mmap-backed slab file instead of ``/dev/shm`` (the
+storage rides in the envelope's host block, so cross-storage timing
+comparisons downgrade to warnings like any host mismatch).
 """
 
 import argparse
 import os
+import tempfile
 import time
 
 import numpy as np
 import pytest
 
-from repro.bench import write_artifact
+from repro.bench import host_metadata, write_artifact
 from repro.graphs.generators import barabasi_albert_graph
 from repro.rng import ensure_rng
 from repro.walks.batch import run_walk_batch
@@ -96,9 +100,13 @@ def _time_batch(csr, design, k, rounds, steps, seed) -> dict:
     }
 
 
-def _time_sharded(csr, design, workers, k, rounds, steps, seed) -> dict:
+def _time_sharded(
+    csr, design, workers, k, rounds, steps, seed, slab_storage, slab_dir
+) -> dict:
     starts = np.zeros(k, dtype=np.int64)
-    with ShardedWalkEngine(csr, n_workers=workers) as engine:
+    with ShardedWalkEngine(
+        csr, n_workers=workers, slab_storage=slab_storage, slab_dir=slab_dir
+    ) as engine:
         # Warm the pool (worker spawn + first-task import) outside the
         # timed region: the engine is a persistent resource, and the
         # steady state is what the scaling claim is about.
@@ -126,6 +134,8 @@ def run_comparison(
     scalar_walks: int = 200,
     workers=(1, 2, 4, 8),
     seed: int = 42,
+    slab_storage: str = "shm",
+    slab_dir=None,
 ) -> dict:
     """Scalar vs. batch vs. sharded throughput on the benchmark graph."""
     graph = barabasi_albert_graph(nodes, attach, seed=seed).relabeled()
@@ -145,6 +155,7 @@ def run_comparison(
         "host": {
             "cpu_count": default_worker_count(),
             "pid_cpu_count": os.cpu_count(),
+            "slab_storage": slab_storage,
         },
         "steps_per_walk": steps,
         "k": k,
@@ -156,7 +167,9 @@ def run_comparison(
         batch["speedup_vs_scalar"] = batch["steps_per_sec"] / scalar["steps_per_sec"]
         sharded = {}
         for w in workers:
-            timing = _time_sharded(csr, design, w, k, rounds, steps, seed)
+            timing = _time_sharded(
+                csr, design, w, k, rounds, steps, seed, slab_storage, slab_dir
+            )
             timing["speedup_vs_batch"] = (
                 timing["steps_per_sec"] / batch["steps_per_sec"]
             )
@@ -185,6 +198,20 @@ def main(argv=None) -> None:
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4, 8])
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
+        "--slab-storage",
+        choices=("shm", "file"),
+        default="shm",
+        help="slab backend the sharded engine publishes through",
+    )
+    parser.add_argument(
+        "--slab-dir",
+        default=None,
+        help=(
+            "directory for --slab-storage file slabs "
+            "(default: a temporary directory, removed afterwards)"
+        ),
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="tiny budget for CI smoke runs (overrides nodes/steps/k)",
@@ -195,16 +222,25 @@ def main(argv=None) -> None:
     if args.quick:
         args.nodes, args.steps, args.k = 500, 50, 512
         args.rounds, args.scalar_walks = 2, 50
-    record = run_comparison(
-        nodes=args.nodes,
-        steps=args.steps,
-        k=args.k,
-        rounds=args.rounds,
-        scalar_walks=args.scalar_walks,
-        workers=tuple(args.workers),
-        seed=args.seed,
+    with tempfile.TemporaryDirectory(prefix="bench-slabs-") as scratch:
+        slab_dir = args.slab_dir or scratch
+        record = run_comparison(
+            nodes=args.nodes,
+            steps=args.steps,
+            k=args.k,
+            rounds=args.rounds,
+            scalar_walks=args.scalar_walks,
+            workers=tuple(args.workers),
+            seed=args.seed,
+            slab_storage=args.slab_storage,
+            slab_dir=slab_dir if args.slab_storage == "file" else None,
+        )
+    write_artifact(
+        record,
+        args.out,
+        scale="smoke" if args.quick else "full",
+        host={**host_metadata(), "slab_storage": args.slab_storage},
     )
-    write_artifact(record, args.out, scale="smoke" if args.quick else "full")
     print(f"host cpus: {record['host']['cpu_count']}")
     for name, entry in record["designs"].items():
         print(

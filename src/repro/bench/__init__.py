@@ -53,7 +53,7 @@ from repro.bench.schema import (
     make_envelope,
     write_artifact,
 )
-from repro.bench.trajectory import append_run, load_trajectory
+from repro.bench.trajectory import append_run, artifacts_digest, load_trajectory
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -69,6 +69,7 @@ __all__ = [
     "MetricKind",
     "TimingMode",
     "append_run",
+    "artifacts_digest",
     "atomic_write_json",
     "check_directories",
     "classify",

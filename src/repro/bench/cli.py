@@ -100,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     check.add_argument(
+        "--min-timing-seconds",
+        type=float,
+        default=0.01,
+        help=(
+            "noise floor: duration metrics with a baseline under this many "
+            "seconds warn instead of failing, even in gate mode (default "
+            "0.01; 0 disables)"
+        ),
+    )
+    check.add_argument(
         "--json",
         action="store_true",
         help="emit the full report as JSON instead of the readable table",
@@ -156,7 +166,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 str(default_results) if default_results.is_dir() else args.baseline
             )
         policy = CheckPolicy(
-            tolerance=args.tolerance, timing_mode=TimingMode(args.timing)
+            tolerance=args.tolerance,
+            timing_mode=TimingMode(args.timing),
+            min_timing_seconds=args.min_timing_seconds,
         )
         report = check_directories(
             args.baseline, current, suite_artifacts(args.suite), policy
@@ -169,7 +181,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "append":
         try:
-            entry = append_run(
+            entry, appended = append_run(
                 args.trajectory,
                 args.results,
                 suite_artifacts(args.suite),
@@ -178,10 +190,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (FileNotFoundError, ValueError) as exc:
             print(f"repro.bench append: {exc}", file=sys.stderr)
             return 1
-        print(
-            f"repro.bench append: recorded run #{entry['sequence']} "
-            f"({entry['scale']}) in {args.trajectory}"
-        )
+        if appended:
+            print(
+                f"repro.bench append: recorded run #{entry['sequence']} "
+                f"({entry['scale']}) in {args.trajectory}"
+            )
+        else:
+            print(
+                f"repro.bench append: skipped duplicate of run "
+                f"#{entry['sequence']} (label {entry['label']!r}, identical "
+                f"artifacts) in {args.trajectory}"
+            )
         return 0
 
     raise AssertionError(f"unreachable command {args.command!r}")

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.bench.io import PathLike
 from repro.bench.policy import (
     CheckPolicy,
+    Direction,
     MetricKind,
     TimingMode,
     classify,
@@ -244,11 +245,26 @@ def compare_envelopes(
         regression = timing_regression(float(base_value), float(cur_value), direction)
         if regression <= policy.tolerance:
             continue
-        gate = policy.timing_mode is TimingMode.GATE and report.host_match
+        # The noise floor: a sub-floor baseline duration is jitter, not
+        # signal, so its swings never gate — even on a matching host.
+        sub_floor = (
+            direction is Direction.LOWER_IS_BETTER
+            and float(base_value) < policy.min_timing_seconds
+        )
+        gate = (
+            policy.timing_mode is TimingMode.GATE
+            and report.host_match
+            and not sub_floor
+        )
         if not report.host_match:
             note = f" [warn-only: {report.host_note}]"
         elif policy.timing_mode is TimingMode.WARN:
             note = " [warn-only: timing_mode=warn]"
+        elif sub_floor:
+            note = (
+                f" [warn-only: baseline {_format_value(base_value)}s under "
+                f"the {policy.min_timing_seconds:g}s min_timing_seconds floor]"
+            )
         else:
             note = ""
         report.add(

@@ -68,14 +68,27 @@ class CheckPolicy:
     deterministic metrics always fail on any drift, regardless of mode
     or host.  Timing failures additionally require matching hosts —
     mismatched hosts downgrade them to warnings unconditionally.
+
+    ``min_timing_seconds`` is the noise floor (the smoke-suite caveat
+    made policy): a *duration* metric whose baseline is under the floor
+    measures scheduler jitter more than code, so its regressions
+    downgrade to warnings even in gate mode with matching hosts.  The
+    floor only applies to lower-is-better duration keys (``*seconds``) —
+    a rate (``*_per_sec``) or ratio (``speedup*``) carries no absolute
+    duration to compare the floor against.  Set to 0 to disable.
     """
 
     tolerance: float = 0.20
     timing_mode: TimingMode = TimingMode.GATE
+    min_timing_seconds: float = 0.01
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.tolerance:
             raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
+        if self.min_timing_seconds < 0.0:
+            raise ValueError(
+                f"min_timing_seconds must be >= 0, got {self.min_timing_seconds}"
+            )
 
 
 def timing_regression(

@@ -226,4 +226,15 @@ def hosts_match(
             f"host kernel_backend differs: "
             f"baseline={base_backend!r} current={cur_backend!r}"
         )
+    # Same deal for the slab backend (shm vs mmap-file): page-cache
+    # walks time differently from /dev/shm walks, so cross-storage
+    # timings downgrade to warn.  Artifacts recorded before the axis
+    # existed were all shm-backed.
+    base_storage = baseline.get("slab_storage", "shm")
+    cur_storage = current.get("slab_storage", "shm")
+    if base_storage != cur_storage:
+        return False, (
+            f"host slab_storage differs: "
+            f"baseline={base_storage!r} current={cur_storage!r}"
+        )
     return True, "hosts match"

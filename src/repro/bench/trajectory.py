@@ -17,13 +17,22 @@ This is the trajectory the roadmap re-anchors read: a metric's history
 across PRs, not just its latest value.  Appends go through the same
 atomic writer as every artifact, and a corrupt or foreign document fails
 loudly instead of being silently replaced.
+
+Appends are **idempotent** on ``(label, artifact digest)``: a re-run CI
+job replaying ``repro.bench append`` on the same results under the same
+label finds its entry already present and skips, instead of inflating
+the series with duplicate sequence numbers.  The digest is computed over
+the canonical JSON of the entry's artifacts map, so any metric change —
+or a different label — still appends a genuinely new run.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.io import PathLike, atomic_write_json, load_json
 from repro.bench.schema import SCHEMA_VERSION, host_metadata, load_artifact
@@ -49,6 +58,17 @@ def load_trajectory(path: PathLike) -> Dict[str, object]:
     return document
 
 
+def artifacts_digest(entry_artifacts: Dict[str, object]) -> str:
+    """Canonical digest of one entry's artifacts map (the dedupe key).
+
+    Canonical JSON (sorted keys) so semantically identical maps hash
+    identically whether freshly built or round-tripped through the
+    trajectory file on disk.
+    """
+    canonical = json.dumps(entry_artifacts, sort_keys=True, allow_nan=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def append_run(
     trajectory_path: PathLike,
     results_dir: PathLike,
@@ -56,8 +76,14 @@ def append_run(
     *,
     label: Optional[str] = None,
     timestamp: Optional[str] = None,
-) -> Dict[str, object]:
-    """Fold one run's artifacts into the trajectory; return the new entry."""
+) -> Tuple[Dict[str, object], bool]:
+    """Fold one run's artifacts into the trajectory.
+
+    Returns ``(entry, appended)``: the freshly appended entry and
+    ``True``, or — when an existing run already carries the same label
+    and the same artifacts digest — that existing entry and ``False``,
+    with the document left untouched.
+    """
     results_root = Path(results_dir)
     document = load_trajectory(trajectory_path)
     runs: List[dict] = document["runs"]  # type: ignore[assignment]
@@ -79,6 +105,12 @@ def append_run(
         }
     if not entry_artifacts:
         raise ValueError("cannot append an empty trajectory entry (no artifacts)")
+    digest = artifacts_digest(entry_artifacts)
+    for run in runs:
+        if run.get("label") == label and (
+            artifacts_digest(run.get("artifacts", {})) == digest
+        ):
+            return dict(run), False
     entry = {
         "sequence": len(runs) + 1,
         "label": label,
@@ -90,4 +122,4 @@ def append_run(
     }
     runs.append(entry)
     atomic_write_json(trajectory_path, document)
-    return entry
+    return entry, True

@@ -60,6 +60,7 @@ from repro.core.walk_estimate import (
 from repro.errors import ConfigurationError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Graph
+from repro.graphs.shm import STORAGES as SLAB_STORAGES
 from repro.rng import RngLike
 from repro.walks.kernels import require_backend as require_kernel_backend
 from repro.walks.samplers import SampleBatch
@@ -183,6 +184,11 @@ class EngineConfig:
         Engine shape used when the *caller* asks :func:`estimate` to own
         a sharded engine's lifetime (the CLI does); ignored when an
         engine is passed in.
+    slab_storage / slab_dir:
+        Slab backend for a caller-owned sharded engine — ``"shm"``
+        (default) or ``"file"`` with a slab directory (see
+        :mod:`repro.graphs.shm`).  Like ``n_workers``, ignored when an
+        engine is passed in: a live engine's slab already exists.
     batch_backward:
         The PR 4 flag on the scalar backend: route each candidate's
         backward-repetition loop through
@@ -206,6 +212,8 @@ class EngineConfig:
     mp_context: str = "spawn"
     batch_backward: bool = False
     kernel_backend: str = "numpy"
+    slab_storage: str = "shm"
+    slab_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -217,6 +225,13 @@ class EngineConfig:
             raise ConfigurationError(
                 f"n_workers must be >= 1 or None, got {self.n_workers}"
             )
+        if self.slab_storage not in SLAB_STORAGES:
+            raise ConfigurationError(
+                f"unknown slab_storage {self.slab_storage!r}; "
+                f"valid: {', '.join(SLAB_STORAGES)}"
+            )
+        if self.slab_storage == "file" and self.slab_dir is None:
+            raise ConfigurationError("slab_storage='file' requires slab_dir")
         if self.backend == "charged" and self.long_run:
             raise ConfigurationError(
                 "the charged (batch_backward) regime has no long-run form; "

@@ -137,9 +137,12 @@ class CrawlWalkPipeline:
         defaults to true discovered degrees (average-degree estimation).
     seed:
         One seed for the whole run's randomness.
+    slab_storage / slab_dir:
+        Backend for published topology slabs — ``"shm"`` (default) or
+        ``"file"`` under *slab_dir* (see :mod:`repro.graphs.shm`).
 
     Use as a context manager (the engine holds processes and the
-    publisher a shared-memory segment until :meth:`close`).
+    publisher a slab until :meth:`close`).
     """
 
     def __init__(
@@ -155,6 +158,8 @@ class CrawlWalkPipeline:
         latency: LatencyLike = None,
         attribute: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         seed: RngLike = None,
+        slab_storage: str = "shm",
+        slab_dir: Optional[str] = None,
     ) -> None:
         self.api = api
         self.start = start
@@ -170,7 +175,12 @@ class CrawlWalkPipeline:
             clock=self.clock,
             latency=latency,
         )
-        self.publisher = TopologyPublisher(api.discovered, fetched_only=True)
+        self.publisher = TopologyPublisher(
+            api.discovered,
+            fetched_only=True,
+            storage=slab_storage,
+            slab_dir=slab_dir,
+        )
         self._n_workers = n_workers
         self._mp_context = mp_context
         self._engine: Optional[ShardedWalkEngine] = None

@@ -18,10 +18,10 @@ That yields the two guarantees the swap tests pin:
 * a walk round that acquired epoch N before a swap completes against
   epoch N's slab — bit-identical to a round over a frozen copy, never a
   torn mix of epochs;
-* no ``/dev/shm`` segment outlives its last lease: superseded epochs
-  unlink on final release, the current epoch on
-  :meth:`~TopologyPublisher.close`, and a publish that fails mid-swap
-  closes the slab it had created before re-raising.
+* no slab — ``/dev/shm`` segment or file-backed ``*.slab`` alike —
+  outlives its last lease: superseded epochs unlink on final release,
+  the current epoch on :meth:`~TopologyPublisher.close`, and a publish
+  that fails mid-swap closes the slab it had created before re-raising.
 
 By default the published graph is the **fetched-induced** subgraph
 (:meth:`DiscoveredSlab.fetched_csr`): only nodes whose rows have been paid
@@ -45,7 +45,7 @@ from typing import Optional
 from repro.errors import ConfigurationError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.discovered import DiscoveredGraph, DiscoveredSlab
-from repro.graphs.shm import CSRSlabSpec, SharedCSR
+from repro.graphs.shm import STORAGES, CSRSlabSpec, SharedCSR
 
 
 class PublishedTopology:
@@ -57,11 +57,17 @@ class PublishedTopology:
     """
 
     def __init__(
-        self, epoch: int, shared: SharedCSR, slab: DiscoveredSlab, rows: int
+        self,
+        epoch: int,
+        shared: SharedCSR,
+        slab: Optional[DiscoveredSlab],
+        rows: int,
     ) -> None:
         self.epoch = epoch
         self.shared = shared
         #: The compaction this epoch froze (fetched mask, full member CSR).
+        #: ``None`` for an epoch adopted from a persisted slab on resume —
+        #: no compaction produced it.
         self.slab = slab
         #: Discovered rows at publish time (the growth watermark).
         self.rows = rows
@@ -153,6 +159,13 @@ class TopologyPublisher:
         at least this many rows arrived since the last publish.  Keeps a
         periodic publisher from churning segments while the crawler
         stalls on a slow network.
+    storage:
+        Slab backend for published epochs — ``"shm"`` (default) or
+        ``"file"`` (see :mod:`repro.graphs.shm`).  Lease retirement and
+        owner-unlink rules are identical for both.
+    slab_dir:
+        Directory for ``storage="file"`` slabs (required then, ignored
+        otherwise).
     """
 
     def __init__(
@@ -161,16 +174,30 @@ class TopologyPublisher:
         *,
         fetched_only: bool = True,
         min_new_rows: int = 1,
+        storage: str = "shm",
+        slab_dir: Optional[str] = None,
     ) -> None:
         if min_new_rows < 1:
             raise ConfigurationError(f"min_new_rows must be >= 1, got {min_new_rows}")
+        if storage not in STORAGES:
+            raise ConfigurationError(
+                f"unknown slab storage {storage!r}; expected one of {STORAGES}"
+            )
+        if storage == "file" and slab_dir is None:
+            raise ConfigurationError("storage='file' requires a slab_dir")
         self._discovered = discovered
         self._fetched_only = fetched_only
         self._min_new_rows = min_new_rows
+        self._storage = storage
+        self._slab_dir = slab_dir
         self._lock = threading.RLock()
         self._current: Optional[PublishedTopology] = None
         self._epoch = 0
         self._closed = False
+        #: Compactions actually performed by :meth:`publish` — gated
+        #: no-ops and :meth:`adopt` don't count.  The resume tests pin
+        #: this at zero when a persisted slab is re-attached.
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -192,6 +219,16 @@ class TopologyPublisher:
         with self._lock:
             return self._closed
 
+    @property
+    def storage(self) -> str:
+        """Slab backend published epochs use (``"shm"`` or ``"file"``)."""
+        return self._storage
+
+    @property
+    def slab_dir(self) -> Optional[str]:
+        """Where file-backed slabs land (``None`` for shm storage)."""
+        return self._slab_dir
+
     # ------------------------------------------------------------------
     # Publishing
     # ------------------------------------------------------------------
@@ -207,9 +244,22 @@ class TopologyPublisher:
         with self._lock:
             if self._closed:
                 raise ConfigurationError("publisher is closed")
-            # Compact first, then derive the growth watermark from the
-            # slab itself: rows a concurrent producer appends between the
-            # two statements belong to the *next* epoch, so the watermark
+            # Pre-gate on the store's own fetched counter before paying
+            # for a compaction: in a fresh process (resume onto an
+            # adopted slab) the compact cache is cold, and a gated no-op
+            # must stay a no-op — zero re-compactions, not merely zero
+            # slabs.  ``fetched_count`` only grows, so this can never
+            # block a publish the slab-derived gate below would allow.
+            if (
+                self._current is not None
+                and not force
+                and self._discovered.fetched_count - self._current.rows
+                < self._min_new_rows
+            ):
+                return None
+            # Compact, then derive the growth watermark from the slab
+            # itself: rows a concurrent producer appends between the two
+            # statements belong to the *next* epoch, so the watermark
             # never claims rows the slab does not contain (compaction is
             # cached per store generation, so a gated no-op stays cheap).
             slab = self._discovered.compact()
@@ -220,14 +270,48 @@ class TopologyPublisher:
                 and rows - self._current.rows < self._min_new_rows
             ):
                 return None
+            self.compactions += 1
             csr = slab.fetched_csr() if self._fetched_only else slab.csr
-            shared = SharedCSR.create(csr)
+            shared = SharedCSR.create(
+                csr, storage=self._storage, slab_dir=self._slab_dir
+            )
             try:
                 topology = PublishedTopology(self._epoch + 1, shared, slab, rows)
                 self._install(topology)
             except BaseException:
                 shared.close()
                 raise
+            return topology
+
+    def adopt(
+        self, shared: SharedCSR, *, rows: int, epoch: Optional[int] = None
+    ) -> PublishedTopology:
+        """Install an externally attached slab as the current epoch.
+
+        The resume path: a checkpoint recorded a persisted file slab,
+        :meth:`SharedCSR.adopt` re-attached it, and this publisher takes
+        ownership without compacting anything — the adopted epoch retires
+        through the normal supersede/lease rules.  *rows* is the growth
+        watermark the slab was published at; *epoch* restores the epoch
+        counter (defaults to the next epoch).  Only valid while nothing
+        has been published yet.
+        """
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("publisher is closed")
+            if self._current is not None or self._epoch:
+                raise ConfigurationError(
+                    "adopt() requires a publisher that has not published yet"
+                )
+            if shared.closed:
+                raise ConfigurationError("cannot adopt a closed slab")
+            topology = PublishedTopology(
+                self._epoch + 1 if epoch is None else int(epoch),
+                shared,
+                slab=None,
+                rows=int(rows),
+            )
+            self._install(topology)
             return topology
 
     def _install(self, topology: PublishedTopology) -> None:

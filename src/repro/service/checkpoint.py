@@ -19,9 +19,17 @@ store's insertion order.  Documents are written through
 :func:`repro.bench.io.atomic_write_json`, so a crash mid-write leaves the
 previous checkpoint intact, never a torn one.
 
-What is *not* captured: the published topology epochs (``/dev/shm`` slabs
-are rebuilt by the first post-resume publish — free, the rows are local)
-and live stream subscriptions (a handle is a connection, not state;
+**Topology.**  What survives depends on the slab backend.  ``/dev/shm``
+slabs die with the machine, so they are *not* captured — the first
+post-resume publish rebuilds them from the restored rows (free, the rows
+are local, but it re-pays the compaction).  A **file-backed** slab
+(``ServiceConfig.slab_storage="file"``) outlives the process: the
+checkpoint records its path and sha256 content digest, and
+:func:`restore` re-attaches the persisted file instead of re-compacting —
+zero re-paid queries *and* zero re-compactions.  A missing file or a
+digest mismatch silently falls back to the rebuild-from-rows path: resume
+may repeat work, but never publishes a wrong graph.  Live stream
+subscriptions are never captured (a handle is a connection, not state;
 ``partials`` history is preserved, replay is the caller's choice).
 """
 
@@ -29,19 +37,21 @@ from __future__ import annotations
 
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.bench.io import atomic_write_json, load_json
 from repro.core.dispatch import EstimationJobSpec
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, GraphError
+from repro.graphs.shm import CSRSlabSpec, SharedCSR, compute_file_digest
 from repro.service.jobs import Job, JobResult, JobState, PartialEstimate
 
-#: Schema version stamped into every checkpoint document.
-CHECKPOINT_VERSION = 1
+#: Schema version stamped into every checkpoint document.  Version 2
+#: added the ``topology`` record (persisted file-slab path + digest).
+CHECKPOINT_VERSION = 2
 
-#: Top-level keys every version-1 checkpoint document carries.
+#: Top-level keys every version-2 checkpoint document carries.
 CHECKPOINT_KEYS = frozenset(
     {
         "version",
@@ -60,6 +70,7 @@ CHECKPOINT_KEYS = frozenset(
         "ledger",
         "discovered",
         "crawler",
+        "topology",
     }
 )
 
@@ -135,6 +146,62 @@ def _rebuild_job(doc: Mapping[str, Any]) -> Job:
     return job
 
 
+def _topology_document(service) -> Optional[Dict[str, Any]]:
+    """The live epoch's persistence record, or ``None``.
+
+    Only a file-backed slab can be re-attached after the process dies, so
+    only that case is recorded: the attach spec (path included), the
+    epoch/watermark provenance, and a sha256 digest of the slab's bytes
+    for :func:`_adopt_topology` to validate against.
+    """
+    current = service.publisher.current
+    if current is None or current.retired or current.spec.storage != "file":
+        return None
+    return {
+        "storage": "file",
+        "path": current.spec.segment,
+        "digest": current.shared.content_digest(),
+        "epoch": int(current.epoch),
+        "rows": int(current.rows),
+        "spec": current.spec.to_dict(),
+    }
+
+
+def _adopt_topology(service, document: Optional[Mapping[str, Any]]) -> bool:
+    """Re-attach the checkpoint's persisted slab; True when adopted.
+
+    The happy path re-creates the pre-crash topology without a single
+    compaction: re-map the slab file, hand it to the publisher as the
+    restored epoch, and pin the service's standing lease to it.  Every
+    guard falls back to ``False`` — the first post-resume publish then
+    rebuilds from the restored rows exactly as a version-1 resume would.
+    A stale or tampered slab never becomes the published graph: the file
+    digest must match what :func:`capture` recorded.
+    """
+    if not document:
+        return False
+    try:
+        if document.get("storage") != "file":
+            return False
+        spec = CSRSlabSpec.from_dict(document["spec"])
+        if spec.storage != "file" or not Path(spec.segment).is_file():
+            return False
+        if compute_file_digest(spec.segment) != document.get("digest"):
+            return False
+        shared = SharedCSR.adopt(spec)
+    except (OSError, GraphError, KeyError, TypeError, ValueError):
+        return False
+    try:
+        service.publisher.adopt(
+            shared, rows=int(document["rows"]), epoch=int(document["epoch"])
+        )
+        service._swap_lease()
+    except BaseException:
+        shared.close()
+        raise
+    return True
+
+
 def capture(service) -> Dict[str, Any]:
     """Snapshot *service* into a JSON-safe checkpoint document.
 
@@ -168,6 +235,7 @@ def capture(service) -> Dict[str, Any]:
         },
         "discovered": service.api.discovered.snapshot_rows(),
         "crawler": service.crawler.state_dict(),
+        "topology": _topology_document(service),
     }
 
 
@@ -254,3 +322,7 @@ def restore(service, document: Mapping[str, Any]) -> None:
     service.scheduler.pending.extend(service.jobs[job_id] for job_id in pending)
     service.scheduler.running.extend(service.jobs[job_id] for job_id in running)
     service.scheduler._driver_cursor = int(document["driver_cursor"])
+    # Last, once rows and jobs are in place: re-attach a persisted file
+    # slab if the checkpoint carried one (best-effort; on fallback the
+    # first publish rebuilds the topology from the rows restored above).
+    _adopt_topology(service, document.get("topology"))

@@ -59,6 +59,7 @@ from repro.core.dispatch import EstimationJobSpec, estimate
 from repro.crawl.clock import FakeClock, LatencyLike, drive
 from repro.crawl.crawler import AsyncCrawler
 from repro.crawl.publisher import TopologyLease, TopologyPublisher
+from repro.graphs.shm import STORAGES as SLAB_STORAGES
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
@@ -113,6 +114,12 @@ class ServiceConfig:
         :mod:`repro.service.checkpoint`); ``None`` disables them.
     checkpoint_every:
         Epochs between periodic checkpoints when a path is configured.
+    slab_storage / slab_dir:
+        Backend for published topology slabs — ``"shm"`` (default) or
+        ``"file"`` under *slab_dir* (see :mod:`repro.graphs.shm`).  With
+        file storage, checkpoints record the live slab's path and
+        content digest, and :meth:`SamplingService.resume` re-attaches
+        it instead of re-compacting from rows.
     """
 
     max_pending: int = 16
@@ -129,6 +136,8 @@ class ServiceConfig:
     mp_context: str = "fork"
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 1
+    slab_storage: str = "shm"
+    slab_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -154,6 +163,13 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"monitor_interval must be > 0 or None, got {self.monitor_interval}"
             )
+        if self.slab_storage not in SLAB_STORAGES:
+            raise ConfigurationError(
+                f"unknown slab_storage {self.slab_storage!r}; "
+                f"valid: {', '.join(SLAB_STORAGES)}"
+            )
+        if self.slab_storage == "file" and self.slab_dir is None:
+            raise ConfigurationError("slab_storage='file' requires slab_dir")
 
 
 class SamplingService:
@@ -213,7 +229,12 @@ class SamplingService:
             clock=self.clock,
             latency=latency,
         )
-        self.publisher = TopologyPublisher(api.discovered, fetched_only=True)
+        self.publisher = TopologyPublisher(
+            api.discovered,
+            fetched_only=True,
+            storage=self.config.slab_storage,
+            slab_dir=self.config.slab_dir,
+        )
         self._rng = ensure_rng(seed)
         self._engine: Optional[ShardedWalkEngine] = None
         self._lease: Optional[TopologyLease] = None

@@ -22,12 +22,13 @@ re-partition the randomness (each walk's law is unchanged; the joint
 stream differs), exactly as the batch engine re-partitions the scalar
 engine's.
 
-**Lifetime.**  The engine owns one shared-memory segment and one process
-pool; both live until :meth:`ShardedWalkEngine.close` (or the ``with``
-block) releases them — workers detach first, then the owner unlinks the
-segment, so no ``/dev/shm`` entry survives a closed engine.  Creating an
-engine costs one topology copy plus worker startup; amortize it by
-running many batches per engine, not one.
+**Lifetime.**  The engine owns one slab (a ``/dev/shm`` segment by
+default, or a file-backed ``*.slab`` via ``slab_storage="file"``) and one
+process pool; both live until :meth:`ShardedWalkEngine.close` (or the
+``with`` block) releases them — workers detach first, then the owner
+unlinks the slab, so no ``/dev/shm`` entry or slab file survives a closed
+engine.  Creating an engine costs one topology copy plus worker startup;
+amortize it by running many batches per engine, not one.
 
 **Growing topologies.**  Every task ships the slab *spec* it must run
 against, and workers re-attach lazily whenever the spec changes — so one
@@ -261,9 +262,15 @@ class ShardedWalkEngine:
         :mod:`multiprocessing` start method.  ``"spawn"`` (default) is
         portable and genuinely exercises the attach path; ``"fork"``
         starts faster on Linux.
+    slab_storage / slab_dir:
+        Backend for the engine-owned slab — ``"shm"`` (default) or
+        ``"file"`` with a slab directory (see :mod:`repro.graphs.shm`).
+        Ignored when *shared* is given: a borrowed slab's storage was
+        chosen by whoever created it, and workers attach either kind
+        from the spec alone.
 
     Use as a context manager, or call :meth:`close` — the engine holds a
-    shared-memory segment and live processes until released.
+    slab and live processes until released.
     """
 
     def __init__(
@@ -273,6 +280,8 @@ class ShardedWalkEngine:
         mp_context: str = "spawn",
         *,
         shared: Optional[SharedCSR] = None,
+        slab_storage: str = "shm",
+        slab_dir: Optional[str] = None,
     ) -> None:
         if (graph is None) == (shared is None):
             raise ConfigurationError(
@@ -293,7 +302,9 @@ class ShardedWalkEngine:
             self._owns_slab = False
         else:
             csr = as_csr(graph)
-            self._shared = SharedCSR.create(csr)
+            self._shared = SharedCSR.create(
+                csr, storage=slab_storage, slab_dir=slab_dir
+            )
             self._owns_slab = True
         self._context = context
         self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(

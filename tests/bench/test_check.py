@@ -184,6 +184,72 @@ class TestTimingRegressions:
         assert _check_cli(baseline, current, "--tolerance", "0.20") == 0
 
 
+#: The min_timing_seconds fixture: one duration under the 10 ms noise
+#: floor, one far above it, both swung by the same 30%.
+FLOOR_RECORD = {
+    "benchmark": "floor_suite",
+    "micro": {"real_seconds": 0.008},
+    "macro": {"real_seconds": 2.0},
+}
+
+
+class TestTimingFloor:
+    """Sub-floor durations are jitter, not signal — even in gate mode."""
+
+    def _swing(self, tmp_path, factor=1.30):
+        baseline, current = tmp_path / "baseline", tmp_path / "current"
+        _write(baseline, copy.deepcopy(FLOOR_RECORD))
+        record = copy.deepcopy(FLOOR_RECORD)
+        record["micro"]["real_seconds"] *= factor
+        record["macro"]["real_seconds"] *= factor
+        _write(current, record)
+        return baseline, current
+
+    def test_sub_floor_swing_warns_while_slow_metric_fails(
+        self, tmp_path, synthetic_suite, capsys
+    ):
+        # Same 30% swing, matching hosts, gate mode: the 8 ms metric
+        # warns (under the default 0.01 s floor), the 2 s metric fails.
+        baseline, current = self._swing(tmp_path)
+        report = check_directories(baseline, current, ARTIFACTS)
+        assert not report.ok
+        assert [d.key for d in report.failures] == ["macro.real_seconds"]
+        assert [d.key for d in report.warnings] == ["micro.real_seconds"]
+        assert "min_timing_seconds floor" in report.warnings[0].message
+        assert _check_cli(baseline, current) == 1
+        out = capsys.readouterr().out
+        assert "WARN" in out and "min_timing_seconds floor" in out
+
+    def test_floor_is_configurable_and_zero_disables(
+        self, tmp_path, synthetic_suite
+    ):
+        baseline, current = self._swing(tmp_path)
+        # Floor disabled: both duration swings gate.
+        report = check_directories(
+            baseline, current, ARTIFACTS, CheckPolicy(min_timing_seconds=0.0)
+        )
+        assert {d.key for d in report.failures} == {
+            "micro.real_seconds",
+            "macro.real_seconds",
+        }
+        assert _check_cli(baseline, current, "--min-timing-seconds", "0") == 1
+        # Floor above both baselines: everything warns, exit 0.
+        assert _check_cli(baseline, current, "--min-timing-seconds", "5") == 0
+
+    def test_floor_never_excuses_rate_metrics(self, dirs):
+        # steps_per_sec carries no duration; a huge floor must not
+        # downgrade its regressions.
+        baseline, current = dirs
+        record = copy.deepcopy(BASE_RECORD)
+        record["designs"]["srw"]["scalar"]["steps_per_sec"] *= 0.5
+        _write(current, record)
+        report = check_directories(
+            baseline, current, ARTIFACTS, CheckPolicy(min_timing_seconds=1e9)
+        )
+        assert not report.ok
+        assert "steps_per_sec" in report.failures[0].key
+
+
 class TestStructuralProblems:
     def test_missing_current_artifact_fails(self, dirs, capsys):
         baseline, current = dirs

@@ -83,3 +83,10 @@ class TestTimingRegression:
 def test_policy_rejects_negative_tolerance():
     with pytest.raises(ValueError, match=">= 0"):
         CheckPolicy(tolerance=-0.1)
+
+
+def test_policy_rejects_negative_timing_floor():
+    with pytest.raises(ValueError, match="min_timing_seconds"):
+        CheckPolicy(min_timing_seconds=-0.01)
+    assert CheckPolicy(min_timing_seconds=0.0).min_timing_seconds == 0.0
+    assert CheckPolicy().min_timing_seconds == pytest.approx(0.01)

@@ -21,13 +21,14 @@ def results(tmp_path):
 class TestAppendRun:
     def test_first_append_creates_the_document(self, tmp_path, results):
         trajectory = tmp_path / "BENCH_TRAJECTORY.json"
-        entry = append_run(
+        entry, appended = append_run(
             trajectory,
             results,
             ["BENCH_stub.json"],
             label="pr-7",
             timestamp="2026-08-07T00:00:00+00:00",
         )
+        assert appended
         assert entry["sequence"] == 1
         assert entry["label"] == "pr-7"
         assert entry["scale"] == "smoke"
@@ -39,15 +40,19 @@ class TestAppendRun:
         }
 
     def test_appends_grow_the_series_in_order(self, tmp_path, results):
+        # Distinct labels = distinct runs, even over identical artifacts.
         trajectory = tmp_path / "BENCH_TRAJECTORY.json"
         for expected in (1, 2, 3):
-            entry = append_run(trajectory, results, ["BENCH_stub.json"])
+            entry, appended = append_run(
+                trajectory, results, ["BENCH_stub.json"], label=f"pr-{expected}"
+            )
+            assert appended
             assert entry["sequence"] == expected
         assert len(load_trajectory(trajectory)["runs"]) == 3
 
     def test_mixed_scales_are_labelled_mixed(self, tmp_path, results):
         write_artifact(RECORD, results / "BENCH_full.json", scale="full")
-        entry = append_run(
+        entry, _ = append_run(
             tmp_path / "t.json", results, ["BENCH_stub.json", "BENCH_full.json"]
         )
         assert entry["scale"] == "mixed"
@@ -71,6 +76,72 @@ class TestAppendRun:
     def test_empty_artifact_list_is_rejected(self, tmp_path, results):
         with pytest.raises(ValueError, match="empty"):
             append_run(tmp_path / "t.json", results, [])
+
+
+class TestAppendIdempotence:
+    """A re-run CI job replaying the same append must not duplicate runs."""
+
+    def test_same_label_same_results_skips(self, tmp_path, results):
+        trajectory = tmp_path / "BENCH_TRAJECTORY.json"
+        first, appended = append_run(
+            trajectory, results, ["BENCH_stub.json"], label="ci-abc"
+        )
+        assert appended
+        before = trajectory.read_text()
+        again, appended = append_run(
+            trajectory, results, ["BENCH_stub.json"], label="ci-abc"
+        )
+        assert not appended
+        assert again["sequence"] == first["sequence"] == 1
+        # The skip leaves the document byte-identical — no rewrite at all.
+        assert trajectory.read_text() == before
+        assert len(load_trajectory(trajectory)["runs"]) == 1
+
+    def test_different_label_appends_over_identical_results(
+        self, tmp_path, results
+    ):
+        trajectory = tmp_path / "BENCH_TRAJECTORY.json"
+        append_run(trajectory, results, ["BENCH_stub.json"], label="ci-abc")
+        entry, appended = append_run(
+            trajectory, results, ["BENCH_stub.json"], label="ci-def"
+        )
+        assert appended
+        assert entry["sequence"] == 2
+
+    def test_changed_results_append_under_the_same_label(self, tmp_path, results):
+        trajectory = tmp_path / "BENCH_TRAJECTORY.json"
+        append_run(trajectory, results, ["BENCH_stub.json"], label="ci-abc")
+        write_artifact(
+            {**RECORD, "query_cost": 11},
+            results / "BENCH_stub.json",
+            scale="smoke",
+        )
+        entry, appended = append_run(
+            trajectory, results, ["BENCH_stub.json"], label="ci-abc"
+        )
+        assert appended
+        assert entry["sequence"] == 2
+
+    def test_cli_reports_the_skip(self, tmp_path, monkeypatch, capsys, results):
+        monkeypatch.setattr(
+            "repro.bench.cli.suite_artifacts", lambda suite: ["BENCH_stub.json"]
+        )
+        trajectory = tmp_path / "BENCH_TRAJECTORY.json"
+        argv = [
+            "append",
+            "--results",
+            str(results),
+            "--trajectory",
+            str(trajectory),
+            "--label",
+            "ci",
+        ]
+        assert bench_main(argv) == 0
+        capsys.readouterr()
+        assert bench_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "skipped duplicate of run #1" in out
+        assert len(load_trajectory(trajectory)["runs"]) == 1
 
 
 class TestAppendCli:

@@ -2,6 +2,7 @@
 
 import os
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -235,3 +236,76 @@ class TestSwapUnderRunningEngine:
             publisher.publish()
         publisher.close()
         assert set(_LIVE_SEGMENTS) == live_before
+
+
+class TestFileSlabHygiene:
+    """File-backed epochs follow the exact shm retirement discipline."""
+
+    def _slab_files(self, slab_dir):
+        return sorted(p.name for p in Path(slab_dir).iterdir())
+
+    def test_publishes_file_epoch_and_retires_it(self, api, tmp_path):
+        crawl_rows(api, 20)
+        slab_dir = tmp_path / "slabs"
+        publisher = TopologyPublisher(
+            api.discovered, storage="file", slab_dir=slab_dir
+        )
+        topology = publisher.publish()
+        assert topology.spec.storage == "file"
+        assert os.path.exists(topology.spec.segment)
+        slab = api.discovered.compact()
+        assert np.array_equal(topology.graph.indices, slab.fetched_csr().indices)
+        publisher.close()
+        assert self._slab_files(slab_dir) == []
+
+    def test_superseded_file_slab_unlinks_on_last_lease_release(self, api, tmp_path):
+        crawler = crawl_rows(api, 15)
+        slab_dir = tmp_path / "slabs"
+        publisher = TopologyPublisher(
+            api.discovered, storage="file", slab_dir=slab_dir
+        )
+        first = publisher.publish()
+        lease = publisher.acquire()
+        crawler.crawl(max_new_rows=15)
+        second = publisher.publish()
+        # Epoch 1 is superseded but pinned by the open lease.
+        assert not first.retired
+        assert os.path.exists(first.spec.segment)
+        lease.release()
+        assert first.retired
+        assert not os.path.exists(first.spec.segment)
+        assert os.path.exists(second.spec.segment)
+        publisher.close()
+        assert self._slab_files(slab_dir) == []
+
+    def test_crash_mid_publish_leaves_no_orphan_files(self, api, tmp_path, monkeypatch):
+        crawler = crawl_rows(api, 15)
+        slab_dir = tmp_path / "slabs"
+        publisher = TopologyPublisher(
+            api.discovered, storage="file", slab_dir=slab_dir
+        )
+        first = publisher.publish()
+        live_before = set(_LIVE_SEGMENTS)
+        crawler.crawl(max_new_rows=15)
+        monkeypatch.setattr(
+            TopologyPublisher,
+            "_install",
+            lambda self, topology: (_ for _ in ()).throw(RuntimeError("torn swap")),
+        )
+        with pytest.raises(RuntimeError, match="torn swap"):
+            publisher.publish()
+        monkeypatch.undo()
+        # The torn epoch's slab file is gone; no .tmp orphans either —
+        # only epoch 1's slab remains in the directory.
+        assert set(_LIVE_SEGMENTS) == live_before
+        assert self._slab_files(slab_dir) == [Path(first.spec.segment).name]
+        second = publisher.publish()
+        assert second is not None and second.epoch == 2
+        publisher.close()
+        assert self._slab_files(slab_dir) == []
+
+    def test_file_storage_requires_slab_dir(self, api):
+        with pytest.raises(ConfigurationError, match="slab_dir"):
+            TopologyPublisher(api.discovered, storage="file")
+        with pytest.raises(ConfigurationError, match="storage"):
+            TopologyPublisher(api.discovered, storage="tape")

@@ -6,6 +6,8 @@ unique-node query for the rows the checkpoint carried.
 """
 
 import json
+from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
@@ -225,3 +227,127 @@ class TestValidation:
     def test_checkpoint_every_validated(self):
         with pytest.raises(Exception):
             ServiceConfig(checkpoint_every=0)
+
+
+class TestFileSlabResume:
+    """A checkpointed file slab resumes without re-crawling or re-compacting."""
+
+    def _config(self, slab_dir):
+        return ServiceConfig(
+            rows_per_epoch=60, slab_storage="file", slab_dir=str(slab_dir)
+        )
+
+    def _demanding_jobs(self):
+        # Targets tight enough that refinement outlives the crawl budget:
+        # post-checkpoint work is walks only, so an adopted topology is
+        # never superseded and compactions can stay at zero end to end.
+        return [
+            replace(job_spec("alice", budget=60), error_target=0.05),
+            replace(job_spec("bob", budget=60), error_target=0.05),
+        ]
+
+    def _crash_after_stall(self, hidden, slab_dir):
+        """Run until the crawl stops growing, checkpoint, 'crash'.
+
+        Tenant budgets fund the crawl; once they run dry the fetched
+        frontier freezes, every later publish is growth-gated, and the
+        remaining work is walks only — the regime where an adopted slab
+        must never be re-compacted.  The crashed service is returned
+        un-closed (a real crash never unlinks) and must stay referenced
+        until the test ends, or its GC finalizer would sweep the slab
+        file out from under the resume.
+        """
+        service = make_service(hidden, config=self._config(slab_dir))
+        for spec in self._demanding_jobs():
+            service.submit_nowait(spec)
+        previous = -1
+        while service.api.discovered.fetched_count != previous:
+            previous = service.api.discovered.fetched_count
+            step(service)
+        assert service.scheduler.has_work, "jobs must outlast the crawl"
+        document = json.loads(json.dumps(service.checkpoint()))
+        return service, document
+
+    def test_resume_reattaches_slab_with_zero_recompactions(self, hidden, tmp_path):
+        with make_service(hidden, config=self._config(tmp_path / "ref")) as ref:
+            ref.run(self._demanding_jobs())
+            expected = campaign_fingerprint(ref)
+
+        crashed, document = self._crash_after_stall(hidden, tmp_path / "live")
+        topology = document["topology"]
+        assert topology is not None and topology["storage"] == "file"
+        assert Path(topology["path"]).is_file()
+        cost_at_checkpoint = crashed.api.query_cost
+
+        resumed = SamplingService.resume(
+            SocialNetworkAPI(hidden), document, latency=LATENCY
+        )
+        try:
+            # The persisted topology was adopted, not rebuilt: zero
+            # re-paid queries AND zero re-compactions.
+            assert resumed.publisher.compactions == 0
+            current = resumed.publisher.current
+            assert current is not None
+            assert current.spec.segment == topology["path"]
+            assert current.epoch == topology["epoch"]
+            assert resumed.api.query_cost == cost_at_checkpoint
+            finish(resumed)
+            assert resumed.publisher.compactions == 0
+            assert resumed.api.query_cost == cost_at_checkpoint
+            assert campaign_fingerprint(resumed) == expected
+            resumed.ledger.assert_balanced()
+        finally:
+            resumed.close()
+            crashed.close()
+
+    def test_digest_mismatch_falls_back_to_rebuild(self, hidden, tmp_path):
+        with make_service(hidden, config=self._config(tmp_path / "ref")) as ref:
+            ref.run(self._demanding_jobs())
+            expected = campaign_fingerprint(ref)
+
+        crashed, document = self._crash_after_stall(hidden, tmp_path / "live")
+        path = Path(document["topology"]["path"])
+        # Same size, different bytes: the size gate passes, the digest
+        # refuses, and resume rebuilds from rows — never a wrong graph.
+        blob = bytearray(path.read_bytes())
+        blob[: len(blob) // 2] = bytes(len(blob) // 2)
+        path.write_bytes(bytes(blob))
+
+        resumed = SamplingService.resume(
+            SocialNetworkAPI(hidden), document, latency=LATENCY
+        )
+        try:
+            current = resumed.publisher.current
+            assert current is None or current.spec.segment != str(path)
+            finish(resumed)
+            assert resumed.publisher.compactions >= 1
+            assert campaign_fingerprint(resumed) == expected
+        finally:
+            resumed.close()
+            crashed.close()
+
+    def test_missing_slab_file_falls_back_to_rebuild(self, hidden, tmp_path):
+        with make_service(hidden, config=self._config(tmp_path / "ref")) as ref:
+            ref.run(self._demanding_jobs())
+            expected = campaign_fingerprint(ref)
+
+        crashed, document = self._crash_after_stall(hidden, tmp_path / "live")
+        Path(document["topology"]["path"]).unlink()
+
+        resumed = SamplingService.resume(
+            SocialNetworkAPI(hidden), document, latency=LATENCY
+        )
+        try:
+            finish(resumed)
+            assert resumed.publisher.compactions >= 1
+            assert campaign_fingerprint(resumed) == expected
+        finally:
+            resumed.close()
+            crashed.close()
+
+    def test_shm_checkpoint_records_no_topology(self, hidden):
+        with make_service(hidden) as service:
+            service.submit_nowait(job_spec("alice"))
+            step(service)
+            document = service.checkpoint()
+            assert document["topology"] is None

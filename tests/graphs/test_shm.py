@@ -2,14 +2,22 @@
 
 import os
 import pickle
+from multiprocessing import resource_tracker
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.errors import GraphError
+from repro.errors import ConfigurationError, GraphError
 from repro.graphs.generators import barabasi_albert_graph
 from repro.graphs.graph import Graph
-from repro.graphs.shm import _LIVE_SEGMENTS, CSRSlabSpec, SharedCSR
+from repro.graphs.shm import (
+    _LIVE_SEGMENTS,
+    CSRSlabSpec,
+    SharedCSR,
+    _defuse_shared_memory,
+    compute_file_digest,
+)
 
 
 @pytest.fixture()
@@ -130,4 +138,174 @@ class TestLifetime:
         segment = shared.spec.segment
         del shared
         assert not os.path.exists(_dev_shm(segment))
+        assert segment not in _LIVE_SEGMENTS
+
+
+class TestFileSlab:
+    def _create(self, graph, tmp_path):
+        return SharedCSR.create(
+            graph.compile(), storage="file", slab_dir=tmp_path / "slabs"
+        )
+
+    def test_attach_reproduces_graph_exactly(self, graph, tmp_path):
+        csr = graph.compile()
+        with self._create(graph, tmp_path) as shared:
+            assert shared.storage == "file"
+            attached = SharedCSR.attach(shared.spec)
+            twin = attached.graph
+            assert np.array_equal(twin.indptr, csr.indptr)
+            assert np.array_equal(twin.indices, csr.indices)
+            assert np.array_equal(twin.degrees, csr.degrees)
+            assert np.array_equal(twin.node_ids, csr.node_ids)
+            assert twin.attribute_values("score") == csr.attribute_values("score")
+            assert not twin.indices.flags.owndata, "array was copied, not mapped"
+            attached.close()
+
+    def test_views_are_read_only(self, graph, tmp_path):
+        # File slabs are mapped ACCESS_READ on both sides: nobody can
+        # scribble on a persisted topology.
+        with self._create(graph, tmp_path) as shared:
+            with pytest.raises(ValueError, match="read-only"):
+                shared.graph.indices[0] = 999
+
+    def test_create_leaves_no_tmp_files(self, graph, tmp_path):
+        with self._create(graph, tmp_path) as shared:
+            slab_dir = Path(shared.spec.segment).parent
+            leftovers = [p.name for p in slab_dir.iterdir()]
+            assert leftovers == [Path(shared.spec.segment).name]
+
+    def test_owner_close_unlinks_the_file(self, graph, tmp_path):
+        shared = self._create(graph, tmp_path)
+        path = shared.spec.segment
+        assert os.path.exists(path)
+        assert path in _LIVE_SEGMENTS
+        attached = SharedCSR.attach(shared.spec)
+        attached.close()
+        assert os.path.exists(path), "attach close must not unlink"
+        shared.close()
+        assert not os.path.exists(path)
+        assert path not in _LIVE_SEGMENTS
+
+    def test_attach_after_unlink_fails(self, graph, tmp_path):
+        shared = self._create(graph, tmp_path)
+        spec = shared.spec
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            SharedCSR.attach(spec)
+
+    def test_short_file_is_rejected(self, graph, tmp_path):
+        shared = self._create(graph, tmp_path)
+        spec = shared.spec
+        shared.close()
+        Path(spec.segment).write_bytes(b"\x00" * 8)
+        with pytest.raises(GraphError, match="bytes"):
+            SharedCSR.attach(spec)
+        Path(spec.segment).unlink()
+
+    def test_adopt_takes_over_unlink_duty(self, graph, tmp_path):
+        shared = self._create(graph, tmp_path)
+        spec = shared.spec
+        # Simulate the creator crashing: drop the handle without close,
+        # but neutralize its finalizer so the file survives the "crash".
+        shared._finalizer.detach()
+        del shared
+        assert os.path.exists(spec.segment)
+        adopted = SharedCSR.adopt(spec)
+        assert adopted.owner
+        assert spec.segment in _LIVE_SEGMENTS
+        assert adopted.graph.number_of_edges() == graph.number_of_edges()
+        adopted.close()
+        assert not os.path.exists(spec.segment)
+        assert spec.segment not in _LIVE_SEGMENTS
+
+    def test_content_digest_matches_file_digest(self, graph, tmp_path):
+        with self._create(graph, tmp_path) as shared:
+            assert shared.content_digest() == compute_file_digest(
+                shared.spec.segment
+            )
+
+    def test_spec_round_trips_through_json(self, graph, tmp_path):
+        import json
+
+        with self._create(graph, tmp_path) as shared:
+            wire = json.loads(json.dumps(shared.spec.to_dict()))
+            spec = CSRSlabSpec.from_dict(wire)
+            assert spec == shared.spec
+            assert spec.storage == "file"
+            attached = SharedCSR.attach(spec)
+            assert attached.graph.attribute_values(
+                "score"
+            ) == graph.compile().attribute_values("score")
+            attached.close()
+
+    def test_unknown_storage_is_rejected(self, graph, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown slab storage"):
+            SharedCSR.create(graph.compile(), storage="tape")
+        with pytest.raises(ConfigurationError, match="slab_dir"):
+            SharedCSR.create(graph.compile(), storage="file")
+
+
+class TestBufferErrorDefusal:
+    """Closing under leaked views must not raise or leak slab names."""
+
+    @pytest.mark.parametrize("storage", ["shm", "file"])
+    def test_owner_close_with_leaked_view_is_clean(self, graph, tmp_path, storage):
+        kwargs = {"slab_dir": tmp_path} if storage == "file" else {}
+        shared = SharedCSR.create(graph.compile(), storage=storage, **kwargs)
+        segment = shared.spec.segment
+        leaked = shared.graph.indices  # deliberately outlives close()
+        checksum = int(leaked.sum())
+        shared.close()  # must not raise BufferError
+        assert shared.closed
+        assert segment not in _LIVE_SEGMENTS
+        if storage == "file":
+            assert not os.path.exists(segment)
+        else:
+            assert not os.path.exists(_dev_shm(segment))
+        # The leaked view stays readable until it dies: defusal drops the
+        # handle's references, it does not tear down the mapping.
+        assert int(leaked.sum()) == checksum
+
+    def test_close_after_defusal_is_idempotent(self, graph):
+        shared = SharedCSR.create(graph.compile())
+        leaked = shared.graph.indptr
+        shared.close()
+        shared.close()
+        assert leaked is not None
+
+    def test_defusal_tolerates_missing_private_attrs(self):
+        # Future CPythons may rename SharedMemory internals; defusal must
+        # degrade to a no-op, never an AttributeError.
+        class Stub:
+            pass
+
+        _defuse_shared_memory(Stub())  # nothing to drop: fine
+
+        class Partial:
+            _buf = None
+            _mmap = object()
+            _fd = "not-an-fd"
+
+        partial = Partial()
+        _defuse_shared_memory(partial)
+        assert partial._mmap is None
+
+    def test_vanished_segment_unregisters_from_tracker(self, graph, monkeypatch):
+        # If the segment name is already gone when the owner unlinks,
+        # CPython's tracker would warn about a "leak" at exit unless we
+        # unregister it ourselves.
+        calls = []
+        monkeypatch.setattr(
+            resource_tracker,
+            "unregister",
+            lambda name, rtype: calls.append((name, rtype)),
+        )
+        shared = SharedCSR.create(graph.compile())
+        segment = shared.spec.segment
+        os.unlink(_dev_shm(segment))  # somebody else swept /dev/shm
+        shared.close()  # must not raise FileNotFoundError
+        assert (f"/{segment}", "shared_memory") in calls or (
+            segment,
+            "shared_memory",
+        ) in calls
         assert segment not in _LIVE_SEGMENTS

@@ -15,7 +15,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.estimators.metrics import empirical_distribution, l_infinity_bias
 from repro.graphs.generators import barabasi_albert_graph, watts_strogatz_graph
-from repro.graphs.shm import _LIVE_SEGMENTS
+from repro.graphs.shm import _LIVE_SEGMENTS, SharedCSR
 from repro.walks import kernels
 from repro.walks.batch import (
     run_nbrw_walk_batch,
@@ -354,3 +354,41 @@ class TestBorrowedSlabsAndSwap:
             with pytest.raises(ConfigurationError, match="closed slab"):
                 engine.update_topology(dead)
         live.close()
+
+
+class TestFileSlabParity:
+    """Walks over an mmap-file slab are bit-identical to /dev/shm walks."""
+
+    def test_file_and_shm_trajectories_are_bit_identical(self, csr, tmp_path):
+        design = SimpleRandomWalk()
+        starts = np.arange(24, dtype=np.int64)
+        results = {}
+        for storage in ("shm", "file"):
+            shared = SharedCSR.create(
+                csr,
+                storage=storage,
+                slab_dir=tmp_path if storage == "file" else None,
+            )
+            with shared:
+                with ShardedWalkEngine.from_shared(shared, n_workers=2) as engine:
+                    results[storage] = engine.run_walk_batch(
+                        design, starts, 50, seed=404
+                    )
+        assert np.array_equal(results["shm"].paths, results["file"].paths)
+
+    def test_engine_owned_file_slab_cleans_up(self, csr, tmp_path):
+        slab_dir = tmp_path / "slabs"
+        engine = ShardedWalkEngine(
+            csr, n_workers=1, slab_storage="file", slab_dir=slab_dir
+        )
+        segment = engine.segment_name
+        assert segment.endswith(".slab")
+        assert os.path.exists(segment)
+        starts = np.arange(8, dtype=np.int64)
+        sharded = engine.run_walk_batch(SimpleRandomWalk(), starts, 20, seed=7)
+        batch = run_walk_batch(csr, SimpleRandomWalk(), starts, 20, seed=7)
+        assert np.array_equal(sharded.paths, batch.paths)
+        engine.close()
+        assert not os.path.exists(segment)
+        assert segment not in _LIVE_SEGMENTS
+        assert list(slab_dir.iterdir()) == []
